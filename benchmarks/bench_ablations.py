@@ -1,0 +1,108 @@
+"""ABL — ablations of the calibrated model parameters.
+
+DESIGN.md calls out two substituted model choices (the addressability
+window and the contact-boundary dead zone) plus the platform's sigma_T
+and N settings.  Each ablation sweeps one knob with everything else at
+the calibrated defaults and records how the headline comparison
+(BGC/10 vs TC/6) responds — showing which conclusions are calibration-
+sensitive and which are structural.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.sweeps import spec_with, sweep
+from repro.codes import make_code
+from repro.crossbar.yield_model import crossbar_yield
+
+BGC10 = make_code("BGC", 2, 10)
+TC6 = make_code("TC", 2, 6)
+
+
+def _evaluate(spec):
+    return {
+        "bgc10_yield": crossbar_yield(spec, BGC10).cave_yield,
+        "tc6_yield": crossbar_yield(spec, TC6).cave_yield,
+    }
+
+
+def _rows(records, key):
+    return [
+        [
+            r[key],
+            f"{100 * r['bgc10_yield']:.1f}%",
+            f"{100 * r['tc6_yield']:.1f}%",
+            f"{r['bgc10_yield'] / max(r['tc6_yield'], 1e-9):.2f}x",
+        ]
+        for r in records
+    ]
+
+
+def test_ablation_window_margin(benchmark, emit):
+    records = benchmark(
+        sweep,
+        "margin",
+        (0.5, 0.7, 0.9, 1.0),
+        lambda v: _evaluate(spec_with(window_margin=v)),
+    )
+    emit(
+        "ablation_window_margin",
+        "Ablation — addressability window margin\n"
+        + render_table(["margin", "BGC/10", "TC/6", "advantage"], _rows(records, "margin")),
+    )
+    # the BGC advantage is structural: it holds at every margin
+    for r in records:
+        assert r["bgc10_yield"] > r["tc6_yield"]
+
+
+def test_ablation_contact_gap(benchmark, emit):
+    records = benchmark(
+        sweep,
+        "gap",
+        (0.0, 0.5, 1.0, 1.5, 2.0),
+        lambda v: _evaluate(spec_with(contact_gap_factor=v)),
+    )
+    emit(
+        "ablation_contact_gap",
+        "Ablation — contact-boundary dead gap (x P_L)\n"
+        + render_table(["gap", "BGC/10", "TC/6", "advantage"], _rows(records, "gap")),
+    )
+    # the gap only hurts multi-group (short) codes
+    bgc = [r["bgc10_yield"] for r in records]
+    tc = [r["tc6_yield"] for r in records]
+    assert max(bgc) - min(bgc) < 1e-9
+    assert tc[0] > tc[-1]
+
+
+def test_ablation_sigma_t(benchmark, emit):
+    records = benchmark(
+        sweep,
+        "sigma_t",
+        (0.02, 0.05, 0.08, 0.12),
+        lambda v: _evaluate(spec_with(sigma_t=v)),
+    )
+    emit(
+        "ablation_sigma_t",
+        "Ablation — per-dose VT variability sigma_T [V]\n"
+        + render_table(["sigma_T", "BGC/10", "TC/6", "advantage"], _rows(records, "sigma_t")),
+    )
+    # yield decreases monotonically with sigma_T for both designs
+    bgc = [r["bgc10_yield"] for r in records]
+    assert all(a > b for a, b in zip(bgc, bgc[1:]))
+
+
+def test_ablation_nanowires_per_half_cave(benchmark, emit):
+    records = benchmark(
+        sweep,
+        "nanowires",
+        (10, 20, 30, 40),
+        lambda v: _evaluate(spec_with(nanowires=v)),
+    )
+    emit(
+        "ablation_nanowires",
+        "Ablation — nanowires per half cave N\n"
+        + render_table(["N", "BGC/10", "TC/6", "advantage"], _rows(records, "nanowires")),
+    )
+    # deeper half caves accumulate more doses -> lower yield for both
+    bgc = [r["bgc10_yield"] for r in records]
+    assert all(a > b for a, b in zip(bgc, bgc[1:]))
+    for r in records:
+        assert r["bgc10_yield"] > r["tc6_yield"]

@@ -1,0 +1,35 @@
+"""FIG5 — fabrication complexity per code and logic type (paper Fig. 5).
+
+Paper setting: N = 10 nanowires per half cave, each logic valence using
+its shortest covering code; the plot shows Phi for TC vs GC over binary,
+ternary and quaternary logic.
+
+Paper findings the regenerated rows must show:
+* Phi is constant (= 2N = 20) for all binary codes;
+* the ternary/quaternary tree code pays ~20% more steps;
+* the Gray code cancels that overhead (17% reduction).
+"""
+
+from repro.analysis.figures import FIG5_LOGICS, fig5_fabrication_complexity
+from repro.analysis.report import render_table
+
+
+def test_fig5_complexity(benchmark, emit):
+    data = benchmark(fig5_fabrication_complexity)
+
+    rows = []
+    for logic in FIG5_LOGICS:
+        tc, gc = data[logic]["TC"], data[logic]["GC"]
+        saving = (tc - gc) / tc
+        rows.append([logic, tc, gc, f"{100 * saving:.1f}%"])
+    emit(
+        "fig5_complexity",
+        "Fig. 5 — fabrication complexity Phi (N = 10)\n"
+        + render_table(["logic", "TC", "GC", "GC saving"], rows),
+    )
+
+    # paper-shape assertions
+    assert data["Binary"]["TC"] == data["Binary"]["GC"] == 20
+    for logic in ("Ternary", "Quaternary"):
+        assert data[logic]["TC"] > 20
+        assert data[logic]["GC"] < data[logic]["TC"]

@@ -1,0 +1,50 @@
+"""FIG6 — decoder variability maps (paper Fig. 6, six panels).
+
+Paper setting: N = 20 nanowires, binary TC/GC/BGC at total lengths 8 and
+10; each panel maps ``sqrt(Sigma)/sigma_T`` over (nanowire, digit).
+
+Paper findings the regenerated series must show:
+* GC and BGC reduce the variability level at every digit vs TC;
+* BGC distributes the variability most evenly (18% lower average);
+* longer codes have lower average variability.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig6_variability_maps
+from repro.analysis.report import render_table
+
+
+def test_fig6_variability(benchmark, emit):
+    data = benchmark(fig6_variability_maps)
+
+    rows = []
+    for (family, length), panel in sorted(data.items()):
+        rows.append(
+            [
+                f"{family} (L={length})",
+                float(panel.min()),
+                float(panel.mean()),
+                float(panel.max()),
+                float(panel.std()),
+            ]
+        )
+    emit(
+        "fig6_variability",
+        "Fig. 6 — sqrt(Sigma)/sigma_T statistics per panel (N = 20)\n"
+        + render_table(["panel", "min", "mean", "max", "spread"], rows, 2),
+    )
+
+    # paper-shape assertions
+    for length in (8, 10):
+        tc = data[("TC", length)]
+        gc = data[("GC", length)]
+        bgc = data[("BGC", length)]
+        assert (gc <= tc).all()
+        assert bgc.std() < tc.std()
+        assert bgc.mean() < tc.mean()
+    for family in ("TC", "GC", "BGC"):
+        assert data[(family, 10)].mean() < data[(family, 8)].mean()
+    # the plotted scale matches the paper's 1 .. ~4.5 range
+    assert all(p.min() >= 1.0 for p in data.values())
+    assert max(p.max() for p in data.values()) <= np.sqrt(20)

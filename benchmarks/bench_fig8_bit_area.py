@@ -1,0 +1,46 @@
+"""FIG8 — average area per functional bit (paper Fig. 8).
+
+Paper setting: same 16 kB platform; all five code families across their
+length sweeps (TC/GC/BGC at 6/8/10; HC/AHC at 4/6/8).
+
+Paper findings the regenerated rows must show:
+* TC bit area falls steeply with code length (51% saving at M = 10
+  vs M = 6);
+* BGC < GC < TC at fixed length (BGC ~30% denser than TC at M = 8);
+* the global optimum is ~169 nm^2 for BGC, with AHC close behind
+  (~175 nm^2, 13% denser than HC at M = 6).
+"""
+
+from repro.analysis.figures import fig8_bit_area
+from repro.analysis.report import render_table
+
+
+def test_fig8_bit_area(benchmark, emit, spec):
+    data = benchmark(fig8_bit_area, spec)
+
+    rows = []
+    for family, points in data.items():
+        for length, area in points:
+            rows.append([family, length, f"{area:.0f}"])
+    emit(
+        "fig8_bit_area",
+        "Fig. 8 — average area per functional bit [nm^2]\n"
+        + render_table(["family", "M", "bit area nm^2"], rows),
+    )
+
+    tc = dict(data["TC"])
+    gc = dict(data["GC"])
+    bgc = dict(data["BGC"])
+    hc = dict(data["HC"])
+    ahc = dict(data["AHC"])
+
+    # paper-shape assertions
+    assert tc[10] < tc[8] < tc[6]                   # falling TC curve
+    assert 1 - tc[10] / tc[6] > 0.3                 # big saving (paper 51%)
+    for length in (6, 8, 10):
+        assert bgc[length] <= gc[length] < tc[length]
+    for length in (6, 8):
+        assert ahc[length] < hc[length]
+    best = min(min(a for _, a in pts) for pts in data.values())
+    assert best == min(a for _, a in data["BGC"])   # BGC is the densest
+    assert 140 < best < 200                         # paper: ~169 nm^2

@@ -1,0 +1,55 @@
+"""MARG — sense-margin view of the code comparison (after ref [2]).
+
+An alternative reliability criterion to Fig. 7's window model: the
+worst-case k-sigma voltage margin separating the selected nanowire from
+the best unselected one.  The bench confirms that the paper's ordering
+(BGC > GC > TC at fixed length) is criterion-independent.
+"""
+
+from repro.analysis.report import render_table
+from repro.codes import make_code
+from repro.decoder.margins import margin_report, margin_yield
+
+FAMILIES = ("TC", "GC", "BGC")
+LENGTH = 8
+NANOWIRES = 20
+
+
+def run_margins():
+    out = {}
+    for family in FAMILIES:
+        code = make_code(family, 2, LENGTH)
+        out[family] = (
+            margin_report(code, NANOWIRES, k_sigma=3.0),
+            margin_yield(code, NANOWIRES, k_sigma=2.0),
+        )
+    return out
+
+
+def test_sense_margins(benchmark, emit):
+    results = benchmark(run_margins)
+
+    rows = [
+        [
+            family,
+            f"{1000 * report.select_margin_v:.0f} mV",
+            f"{1000 * report.block_margin_v:.0f} mV",
+            f"{1000 * report.worst_margin_v:.0f} mV",
+            f"{100 * myield:.1f}%",
+        ]
+        for family, (report, myield) in results.items()
+    ]
+    emit(
+        "margins",
+        f"Sense margins at M = {LENGTH}, N = {NANOWIRES} "
+        "(3-sigma margins, 2-sigma yield)\n"
+        + render_table(
+            ["family", "select", "block", "worst", "margin yield"], rows
+        ),
+    )
+
+    worst = {fam: rep.worst_margin_v for fam, (rep, _) in results.items()}
+    yields = {fam: y for fam, (_, y) in results.items()}
+    # the Gray arrangements keep larger margins than counting order
+    assert worst["BGC"] >= worst["GC"] > worst["TC"]
+    assert yields["BGC"] >= yields["TC"]

@@ -1,0 +1,52 @@
+"""MC — Monte-Carlo validation of the analytic yield model.
+
+Not a paper figure, but the cross-check that makes Fig. 7 trustworthy:
+the analytic model multiplies independent Gaussian window integrals and
+an expected boundary loss; the Monte-Carlo simulator samples actual
+threshold voltages and contact positions.  The bench times the sampler
+and asserts agreement for representative design points.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.codes import make_code
+from repro.crossbar.montecarlo import simulate_cave_yield
+from repro.crossbar.yield_model import crossbar_yield
+
+POINTS = [("TC", 6), ("TC", 10), ("BGC", 8), ("BGC", 10), ("HC", 6), ("AHC", 8)]
+
+
+def test_montecarlo_vs_analytic(benchmark, emit, spec):
+    def run_all():
+        out = {}
+        for family, length in POINTS:
+            code = make_code(family, 2, length)
+            out[(family, length)] = (
+                crossbar_yield(spec, code).cave_yield,
+                simulate_cave_yield(spec, code, samples=300, seed=13),
+            )
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (family, length), (analytic, mc) in results.items():
+        rows.append(
+            [
+                f"{family}/{length}",
+                f"{100 * analytic:.1f}%",
+                f"{100 * mc.mean_cave_yield:.1f}%",
+                f"{100 * mc.stderr:.2f}%",
+            ]
+        )
+    emit(
+        "montecarlo_validation",
+        "Monte-Carlo validation of the analytic yield model (300 samples)\n"
+        + render_table(["design", "analytic", "MC mean", "MC stderr"], rows),
+    )
+
+    for (family, length), (analytic, mc) in results.items():
+        assert mc.mean_cave_yield == pytest.approx(
+            analytic, abs=max(0.04, 5 * mc.stderr)
+        ), f"{family}/{length} disagrees"

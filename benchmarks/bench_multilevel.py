@@ -1,0 +1,40 @@
+"""MULTI — higher-valence decoders (paper Sec. 6.2's 'similar results').
+
+The paper reports its variability/yield comparisons for binary codes and
+remarks that the same orderings hold at higher logic valences.  This
+bench reruns the TC/GC/BGC comparison at n = 2, 3, 4 with matched digit
+budgets and asserts the orderings carry over.
+"""
+
+from repro.analysis.multilevel import multilevel_comparison, orderings_hold
+from repro.analysis.report import render_table
+
+
+def test_multilevel_orderings(benchmark, emit, spec):
+    points = benchmark(
+        multilevel_comparison, valences=(2, 3, 4), digits=6, spec=spec
+    )
+
+    rows = [
+        [
+            p.n,
+            p.family,
+            p.total_length,
+            p.code_space,
+            f"{p.average_variability / spec.sigma_t**2:.2f}",
+            f"{100 * p.cave_yield:.1f}%",
+        ]
+        for p in points
+    ]
+    emit(
+        "multilevel",
+        "Higher-valence comparison (avg nu in sigma_T^2 units)\n"
+        + render_table(
+            ["n", "family", "M", "Omega", "avg nu", "yield"], rows
+        ),
+    )
+
+    assert orderings_hold(points)
+    # higher valence packs more addresses into the same digit budget
+    by = {(p.n, p.family): p for p in points}
+    assert by[(4, "TC")].code_space > by[(3, "TC")].code_space > by[(2, "TC")].code_space

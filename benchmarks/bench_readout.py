@@ -1,0 +1,93 @@
+"""READ — sneak-path sense margins vs bank size (memory substrate).
+
+Not a paper figure: the paper assumes the crossbar "functions as a
+memory" and this bench quantifies the electrical constraint behind that
+assumption.  With unselected lines floating, sneak paths collapse the
+worst-case read margin as the bank grows — the reason arrays are
+segmented into cave-sized banks rather than read as one monolithic
+16 kB plane.
+"""
+
+from repro.analysis.report import render_table
+from repro.crossbar.readout import ReadoutModel, margin_vs_bank_size
+
+SIZES = (4, 8, 16, 20, 32, 64)
+
+
+def run_margins():
+    out = {}
+    for scheme in ("float", "half_v", "ground"):
+        model = ReadoutModel(scheme=scheme)
+        out[scheme] = margin_vs_bank_size(model, SIZES)
+    return out
+
+
+def test_readout_margins(benchmark, emit):
+    results = benchmark(run_margins)
+
+    rows = []
+    for size in SIZES:
+        row = [size]
+        for scheme in ("float", "half_v", "ground"):
+            margin = dict(results[scheme])[size]
+            row.append(f"{100 * margin:.1f}%")
+        rows.append(row)
+    emit(
+        "readout_margins",
+        "Worst-case sense margin vs square bank size\n"
+        + render_table(["bank", "float", "half_v", "ground"], rows),
+    )
+
+    floating = [m for _, m in results["float"]]
+    grounded = [m for _, m in results["ground"]]
+    # floating margins collapse with size; grounded margins do not
+    assert all(b < a for a, b in zip(floating, floating[1:]))
+    assert max(grounded) - min(grounded) < 0.01
+    # a half-cave-sized bank keeps several times the margin of a 64-bank
+    assert dict(results["float"])[20] > 3 * dict(results["float"])[64]
+
+
+def test_distributed_line_resistance(benchmark, emit):
+    """IR drop along the poly-Si wires erodes the margin.
+
+    A 10 um x 6 nm MSPT nanowire at decoder doping is ~2.5 Mohm, so
+    low-impedance crosspoints (R_on = 100k) would be wire-dominated and
+    unreadable; molecular-junction crosspoints (R_on ~ 10M) keep the
+    crosspoint in charge.  The bench quantifies both regimes.
+    """
+    from repro.crossbar.readout_distributed import DistributedReadout
+    from repro.device.resistance import NanowireGeometry, segment_resistance_ohm
+
+    def run():
+        seg = segment_resistance_ohm(NanowireGeometry(), 5e18, 20)
+        out = {}
+        for label, r_on, r_off in (
+            ("low-Z crosspoints (100k/10M)", 1.0e5, 1.0e7),
+            ("molecular crosspoints (10M/1G)", 1.0e7, 1.0e9),
+        ):
+            base = ReadoutModel(r_on=r_on, r_off=r_off)
+            lossy = DistributedReadout(
+                base=base, row_segment_ohm=seg, col_segment_ohm=seg
+            )
+            out[label] = (base.sense_margin(20, 20), lossy.worst_case_margin(20))
+        return seg, out
+
+    seg, results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [
+        [label, f"{100 * ideal:.1f}%", f"{100 * lossy:.1f}%"]
+        for label, (ideal, lossy) in results.items()
+    ]
+    emit(
+        "readout_distributed",
+        f"Line-resistance effect on a 20 x 20 bank "
+        f"(segment = {seg / 1000:.0f} kohm)\n"
+        + render_table(["crosspoint technology", "ideal lines", "with IR drop"], rows),
+    )
+
+    for ideal, lossy in results.values():
+        assert lossy <= ideal + 1e-9
+    # high-impedance crosspoints tolerate the wire resistance
+    low_z = results["low-Z crosspoints (100k/10M)"]
+    mol = results["molecular crosspoints (10M/1G)"]
+    assert mol[1] > 5 * low_z[1]

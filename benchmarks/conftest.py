@@ -1,0 +1,36 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench regenerates one paper artefact (figure or headline claim),
+times the underlying computation with pytest-benchmark, and writes the
+regenerated rows/series both to stdout and to ``benchmarks/output/`` so
+EXPERIMENTS.md can quote them verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.crossbar.spec import CrossbarSpec
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+@pytest.fixture(scope="session")
+def spec() -> CrossbarSpec:
+    """The paper's 16 kB platform with calibrated defaults."""
+    return CrossbarSpec()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write a named report to benchmarks/output/ and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _emit

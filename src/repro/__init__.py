@@ -1,0 +1,74 @@
+"""repro — reproduction of *Decoding Nanowire Arrays Fabricated with the
+Multi-Spacer Patterning Technique* (Ben Jamaa, Leblebici, De Micheli,
+DAC 2009).
+
+The library models the full MSPT decoder stack:
+
+* ``repro.codes`` — the five addressing-code families (TC, GC, BGC, HC,
+  AHC) with their transition metrics;
+* ``repro.device`` — threshold-voltage physics, level schemes and dose
+  variability;
+* ``repro.fabrication`` — the MSPT spacer process, doping matrices,
+  fabrication complexity;
+* ``repro.decoder`` — pattern, variability and addressing models of a
+  half cave, plus contact-group geometry;
+* ``repro.crossbar`` — the 16 kB crossbar platform: yield, area,
+  Monte-Carlo validation and a defect-aware memory;
+* ``repro.analysis`` — figure data generators and headline statistics;
+* ``repro.core`` — the high-level :class:`DecoderDesign` API, design
+  optimisation and executable theorem checks.
+
+Quickstart
+----------
+>>> from repro import DecoderDesign
+>>> design = DecoderDesign.build("BGC", total_length=10)
+>>> round(design.cave_yield, 2) > 0.5
+True
+"""
+
+from repro.codes import (
+    ArrangedHotCode,
+    BalancedGrayCode,
+    CodeSpace,
+    GrayCode,
+    HotCode,
+    TreeCode,
+    make_code,
+)
+from repro.core import DecoderDesign, explore_designs, optimize_design
+from repro.crossbar import (
+    CrossbarMemory,
+    CrossbarSpec,
+    crossbar_yield,
+    effective_bit_area,
+    sample_defect_map,
+    simulate_cave_yield,
+)
+from repro.decoder import HalfCaveDecoder
+from repro.fabrication import DopingPlan, ProcessFlow, fabrication_complexity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrangedHotCode",
+    "BalancedGrayCode",
+    "CodeSpace",
+    "CrossbarMemory",
+    "CrossbarSpec",
+    "DecoderDesign",
+    "DopingPlan",
+    "GrayCode",
+    "HalfCaveDecoder",
+    "HotCode",
+    "ProcessFlow",
+    "TreeCode",
+    "__version__",
+    "crossbar_yield",
+    "effective_bit_area",
+    "explore_designs",
+    "fabrication_complexity",
+    "make_code",
+    "optimize_design",
+    "sample_defect_map",
+    "simulate_cave_yield",
+]

@@ -1,0 +1,84 @@
+"""Export of figure data and sweep records to CSV / JSON.
+
+Downstream users replot the paper's figures with their own tooling; the
+exporters here serialise every generator's output into flat, stable
+formats without third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def records_to_csv(
+    records: Sequence[Mapping[str, object]],
+    path: str | Path,
+) -> Path:
+    """Write sweep records (list of uniform dicts) to a CSV file."""
+    path = Path(path)
+    if not records:
+        raise ValueError("no records to export")
+    fields = list(records[0].keys())
+    for r in records:
+        if list(r.keys()) != fields:
+            raise ValueError("records have inconsistent fields")
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def series_to_csv(
+    series: Mapping[str, Iterable[tuple[int, float]]],
+    path: str | Path,
+    value_name: str = "value",
+) -> Path:
+    """Write ``{family: [(length, value), ...]}`` (Figs. 7/8 shape) to CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["family", "length", value_name])
+        for family, points in series.items():
+            for length, value in points:
+                writer.writerow([family, length, value])
+    return path
+
+
+def matrix_to_csv(matrix: np.ndarray, path: str | Path) -> Path:
+    """Write a 2-D array (e.g. a Fig. 6 panel) to CSV, one row per wire."""
+    m = np.asarray(matrix)
+    if m.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {m.shape}")
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([f"digit_{j}" for j in range(m.shape[1])])
+        writer.writerows(m.tolist())
+    return path
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def to_json(data: object, path: str | Path) -> Path:
+    """Serialise any generator output (dicts/arrays/tuples) to JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(_jsonable(data), indent=2, sort_keys=True) + "\n")
+    return path

@@ -1,0 +1,121 @@
+"""Data-series generators for every figure of the paper's evaluation.
+
+One function per figure; each returns plain data structures (dicts and
+NumPy arrays) that the benches print and the tests assert on.  The
+figure numbers, parameters and sweep ranges follow Sec. 6:
+
+* Fig. 5 — fabrication complexity for binary/ternary/quaternary TC vs GC
+  at ``N = 10``;
+* Fig. 6 — ``sqrt(Sigma)/sigma_T`` maps for binary TC/GC/BGC at total
+  lengths 8 and 10, ``N = 20``;
+* Fig. 7 — crossbar yield vs code length for TC/BGC (6, 8, 10) and
+  HC/AHC (4, 6, 8);
+* Fig. 8 — effective bit area for all five families across lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.registry import make_code, shortest_covering_code
+from repro.crossbar.area import family_area_sweep
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import family_yield_sweep
+from repro.decoder.variability import normalised_std_map
+from repro.fabrication.complexity import code_complexity
+
+#: Paper's Fig. 5 nanowire count per half cave.
+FIG5_NANOWIRES = 10
+
+#: Paper's Fig. 6 nanowire count per half cave.
+FIG6_NANOWIRES = 20
+
+#: Logic valences of Fig. 5, keyed by their paper labels.
+FIG5_LOGICS = {"Binary": 2, "Ternary": 3, "Quaternary": 4}
+
+#: Code-length sweeps of Figs. 7 and 8.
+TREE_LENGTHS = (6, 8, 10)
+HOT_LENGTHS = (4, 6, 8)
+
+
+def fig5_fabrication_complexity(
+    nanowires: int = FIG5_NANOWIRES,
+    families: tuple[str, ...] = ("TC", "GC"),
+) -> dict[str, dict[str, int]]:
+    """Fig. 5: technology complexity Phi per logic and code type.
+
+    Each logic valence uses its shortest code covering ``nanowires``
+    words; returns ``{logic_label: {family: Phi}}``.
+    """
+    out: dict[str, dict[str, int]] = {}
+    for label, n in FIG5_LOGICS.items():
+        row = {}
+        for family in families:
+            space = shortest_covering_code(family, n, nanowires)
+            row[family] = code_complexity(space, nanowires)
+        out[label] = row
+    return out
+
+
+def fig6_variability_maps(
+    nanowires: int = FIG6_NANOWIRES,
+    lengths: tuple[int, ...] = (8, 10),
+    families: tuple[str, ...] = ("TC", "GC", "BGC"),
+    n: int = 2,
+) -> dict[tuple[str, int], np.ndarray]:
+    """Fig. 6: per-region ``sqrt(Sigma)/sigma_T`` surfaces.
+
+    Returns ``{(family, total_length): (N x M) array}`` — the six panels
+    of the figure for the default arguments.
+    """
+    out: dict[tuple[str, int], np.ndarray] = {}
+    for family in families:
+        for length in lengths:
+            space = make_code(family, n, length)
+            out[(family, length)] = normalised_std_map(space, nanowires)
+    return out
+
+
+def fig7_crossbar_yield(
+    spec: CrossbarSpec | None = None,
+    n: int = 2,
+) -> dict[str, list[tuple[int, float]]]:
+    """Fig. 7: cave yield vs code length for the four plotted families.
+
+    Returns ``{family: [(length, yield), ...]}`` with TC/BGC over
+    (6, 8, 10) and HC/AHC over (4, 6, 8), as in the paper's two panels.
+    """
+    spec = spec or CrossbarSpec()
+    out: dict[str, list[tuple[int, float]]] = {}
+    for family, lengths in (
+        ("TC", TREE_LENGTHS),
+        ("BGC", TREE_LENGTHS),
+        ("HC", HOT_LENGTHS),
+        ("AHC", HOT_LENGTHS),
+    ):
+        reports = family_yield_sweep(spec, family, lengths, n)
+        out[family] = [(r.code_length, r.cave_yield) for r in reports]
+    return out
+
+
+def fig8_bit_area(
+    spec: CrossbarSpec | None = None,
+    n: int = 2,
+) -> dict[str, list[tuple[int, float]]]:
+    """Fig. 8: effective bit area per code type and length.
+
+    Returns ``{family: [(length, bit_area_nm2), ...]}`` for all five
+    families (TC/GC/BGC over 6-10, HC/AHC over 4-8).
+    """
+    spec = spec or CrossbarSpec()
+    out: dict[str, list[tuple[int, float]]] = {}
+    for family, lengths in (
+        ("TC", TREE_LENGTHS),
+        ("GC", TREE_LENGTHS),
+        ("BGC", TREE_LENGTHS),
+        ("HC", HOT_LENGTHS),
+        ("AHC", HOT_LENGTHS),
+    ):
+        reports = family_area_sweep(spec, family, lengths, n)
+        out[family] = [(r.code_length, r.effective_bit_area_nm2) for r in reports]
+    return out

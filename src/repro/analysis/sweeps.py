@@ -1,0 +1,93 @@
+"""Generic parameter-sweep engine for design-space and ablation studies.
+
+The paper's evaluation is a set of one-dimensional sweeps (code length,
+code family, logic valence); our ablation benches additionally sweep the
+calibrated model parameters (window margin, boundary gap, sigma_T, N).
+This module keeps all of them on one small engine so results are
+uniformly shaped records.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.crossbar.spec import CrossbarSpec
+from repro.fabrication.lithography import LithographyRules
+
+Record = dict[str, object]
+
+
+def sweep(
+    name: str,
+    values: Iterable[object],
+    evaluate: Callable[[object], Mapping[str, object]],
+) -> list[Record]:
+    """One-dimensional sweep: evaluate each value, tag it with ``name``."""
+    out: list[Record] = []
+    for value in values:
+        record: Record = {name: value}
+        record.update(evaluate(value))
+        out.append(record)
+    return out
+
+
+def grid_sweep(
+    axes: Mapping[str, Sequence[object]],
+    evaluate: Callable[..., Mapping[str, object]],
+) -> list[Record]:
+    """Full-factorial sweep over named axes.
+
+    ``evaluate`` receives the axis values as keyword arguments.
+    """
+    names = list(axes.keys())
+    out: list[Record] = []
+    for combo in itertools.product(*(axes[k] for k in names)):
+        kwargs = dict(zip(names, combo))
+        record: Record = dict(kwargs)
+        record.update(evaluate(**kwargs))
+        out.append(record)
+    return out
+
+
+def spec_with(
+    base: CrossbarSpec | None = None,
+    window_margin: float | None = None,
+    sigma_t: float | None = None,
+    nanowires: int | None = None,
+    contact_gap_factor: float | None = None,
+    alignment_tolerance_nm: float | None = None,
+) -> CrossbarSpec:
+    """Derive a platform spec with selected parameters overridden.
+
+    The helper the ablation benches use to perturb one model knob at a
+    time while keeping everything else at the calibrated defaults.
+    """
+    base = base or CrossbarSpec()
+    rules = base.rules
+    if contact_gap_factor is not None or alignment_tolerance_nm is not None:
+        rules = LithographyRules(
+            litho_pitch_nm=rules.litho_pitch_nm,
+            nanowire_pitch_nm=rules.nanowire_pitch_nm,
+            min_contact_width_factor=rules.min_contact_width_factor,
+            contact_gap_factor=(
+                rules.contact_gap_factor
+                if contact_gap_factor is None
+                else contact_gap_factor
+            ),
+            alignment_tolerance_nm=(
+                rules.alignment_tolerance_nm
+                if alignment_tolerance_nm is None
+                else alignment_tolerance_nm
+            ),
+        )
+    return replace(
+        base,
+        rules=rules,
+        window_margin=base.window_margin if window_margin is None else window_margin,
+        sigma_t=base.sigma_t if sigma_t is None else sigma_t,
+        nanowires_per_half_cave=(
+            base.nanowires_per_half_cave if nanowires is None else nanowires
+        ),
+    )

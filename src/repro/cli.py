@@ -1,0 +1,344 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Examples
+--------
+::
+
+    python -m repro info
+    python -m repro fig7
+    python -m repro fig8 --csv fig8.csv
+    python -m repro evaluate BGC -M 10
+    python -m repro optimize --objective bit_area
+    python -m repro simulate BGC -M 10 --samples 500
+    python -m repro headline
+    python -m repro theorems
+    python -m repro baselines
+
+Platform knobs (``--raw-kb``, ``--nanowires``, ``--sigma-t``,
+``--window-margin``, ``--contact-gap``) apply to every subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.export import series_to_csv, to_json
+from repro.analysis.figures import (
+    fig5_fabrication_complexity,
+    fig6_variability_maps,
+    fig7_crossbar_yield,
+    fig8_bit_area,
+)
+from repro.analysis.report import paper_vs_measured, render_table
+from repro.analysis.stats import headline_summary
+from repro.analysis.sweeps import spec_with
+from repro.core.design import DecoderDesign
+from repro.core.optimizer import explore_designs
+from repro.core.theorems import check_all
+from repro.crossbar.montecarlo import simulate_cave_yield
+from repro.crossbar.spec import CrossbarSpec
+from repro.decoder.stochastic import compare_with_deterministic
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Decoding Nanowire Arrays Fabricated with "
+            "the Multi-Spacer Patterning Technique' (DAC 2009)."
+        ),
+    )
+    parser.add_argument("--raw-kb", type=float, default=16.0,
+                        help="raw crossbar density in kB (default 16)")
+    parser.add_argument("--nanowires", type=int, default=20,
+                        help="nanowires per half cave (default 20)")
+    parser.add_argument("--sigma-t", type=float, default=0.05,
+                        help="per-dose VT std deviation in V (default 0.05)")
+    parser.add_argument("--window-margin", type=float, default=1.0,
+                        help="addressability window margin (default 1.0)")
+    parser.add_argument("--contact-gap", type=float, default=1.0,
+                        help="contact dead gap in litho pitches (default 1.0)")
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the platform specification")
+
+    for fig in ("fig5", "fig6", "fig7", "fig8"):
+        p = sub.add_parser(fig, help=f"regenerate paper {fig.capitalize()}")
+        p.add_argument("--csv", help="also write the series to this CSV file")
+        p.add_argument("--json", help="also write the data to this JSON file")
+
+    p = sub.add_parser("evaluate", help="evaluate one decoder design")
+    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("-M", "--length", type=int, required=True,
+                   help="total code length (doping regions)")
+    p.add_argument("-n", "--valence", type=int, default=2,
+                   help="logic valence (default 2)")
+
+    p = sub.add_parser("optimize", help="explore the design space")
+    p.add_argument("--objective", default="bit_area",
+                   choices=["complexity", "variability", "yield", "bit_area"])
+
+    p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
+    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("-M", "--length", type=int, required=True)
+    p.add_argument("-n", "--valence", type=int, default=2)
+    p.add_argument("--samples", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("headline", help="paper-vs-measured headline claims")
+    sub.add_parser("theorems", help="run the executable proposition checks")
+    sub.add_parser("baselines", help="compare with stochastic decoders [6, 8]")
+
+    p = sub.add_parser("margins", help="k-sigma sense margins per code family")
+    p.add_argument("-M", "--length", type=int, default=8)
+    p.add_argument("--k-sigma", type=float, default=3.0)
+
+    p = sub.add_parser("readout", help="sneak-path margins vs bank size")
+    p.add_argument("--scheme", default="float",
+                   choices=["float", "ground", "half_v"])
+
+    sub.add_parser("calibrate", help="score the calibration grid")
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> CrossbarSpec:
+    base = CrossbarSpec(raw_kilobytes=args.raw_kb)
+    return spec_with(
+        base,
+        window_margin=args.window_margin,
+        sigma_t=args.sigma_t,
+        nanowires=args.nanowires,
+        contact_gap_factor=args.contact_gap,
+    )
+
+
+def _cmd_info(spec: CrossbarSpec) -> str:
+    rows = [
+        ["raw density", f"{spec.raw_bits / 8192:.0f} kB ({spec.raw_bits} bits)"],
+        ["array side", f"{spec.side_nanowires} nanowires"],
+        ["half caves / layer", spec.half_caves_per_layer],
+        ["nanowires / half cave", spec.nanowires_per_half_cave],
+        ["litho pitch P_L", f"{spec.rules.litho_pitch_nm:.0f} nm"],
+        ["nanowire pitch P_N", f"{spec.rules.nanowire_pitch_nm:.0f} nm"],
+        ["sigma_T", f"{1000 * spec.sigma_t:.0f} mV"],
+        ["window margin", spec.window_margin],
+        ["contact gap", f"{spec.rules.contact_gap_nm:.0f} nm"],
+    ]
+    return render_table(["parameter", "value"], rows)
+
+
+def _cmd_fig5() -> tuple[str, dict]:
+    data = fig5_fabrication_complexity()
+    rows = [
+        [logic, row["TC"], row["GC"]] for logic, row in data.items()
+    ]
+    return render_table(["logic", "TC", "GC"], rows), data
+
+
+def _cmd_fig6() -> tuple[str, dict]:
+    data = fig6_variability_maps()
+    rows = [
+        [f"{fam} (L={length})", float(p.min()), float(p.mean()), float(p.max())]
+        for (fam, length), p in sorted(data.items())
+    ]
+    table = render_table(["panel", "min", "mean", "max"], rows, 2)
+    return table, {f"{fam}_L{length}": p for (fam, length), p in data.items()}
+
+
+def _cmd_fig7(spec: CrossbarSpec) -> tuple[str, dict]:
+    data = fig7_crossbar_yield(spec)
+    rows = [
+        [fam, length, f"{100 * y:.1f}%"]
+        for fam, points in data.items()
+        for length, y in points
+    ]
+    return render_table(["family", "M", "yield"], rows), data
+
+
+def _cmd_fig8(spec: CrossbarSpec) -> tuple[str, dict]:
+    data = fig8_bit_area(spec)
+    rows = [
+        [fam, length, f"{area:.0f}"]
+        for fam, points in data.items()
+        for length, area in points
+    ]
+    return render_table(["family", "M", "bit area nm^2"], rows), data
+
+
+def _cmd_evaluate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    design = DecoderDesign.build(
+        args.family, args.length, n=args.valence, spec=spec
+    )
+    s = design.summary()
+    rows = [[k, v] for k, v in s.items()]
+    return render_table(["figure", "value"], rows, 4)
+
+
+def _cmd_optimize(spec: CrossbarSpec, objective: str) -> str:
+    result = explore_designs(objective, spec=spec)
+    rows = [
+        [
+            p.label,
+            p.cost,
+            f"{100 * p.design.cave_yield:.1f}%",
+            f"{p.design.bit_area_nm2:.0f}",
+        ]
+        for p in result.ranking()
+    ]
+    table = render_table(
+        ["design", f"cost ({objective})", "yield", "bit area nm^2"], rows, 2
+    )
+    return table + f"\n\nbest: {result.best.label}"
+
+
+def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    from repro.codes.registry import make_code
+
+    code = make_code(args.family, args.valence, args.length)
+    mc = simulate_cave_yield(spec, code, samples=args.samples, seed=args.seed)
+    rows = [
+        ["samples", mc.samples],
+        ["mean cave yield", f"{100 * mc.mean_cave_yield:.2f}%"],
+        ["std error", f"{100 * mc.stderr:.2f}%"],
+        ["electrical yield", f"{100 * mc.mean_electrical_yield:.2f}%"],
+        ["geometric yield", f"{100 * mc.mean_geometric_yield:.2f}%"],
+    ]
+    return render_table(["figure", "value"], rows)
+
+
+def _cmd_headline(spec: CrossbarSpec) -> str:
+    claims = headline_summary(spec)
+    return paper_vs_measured([(c.description, c.paper, c.measured) for c in claims])
+
+
+def _cmd_theorems() -> str:
+    results = check_all()
+    rows = [[name, "PASS" if ok else "FAIL"] for name, ok in results.items()]
+    return render_table(["proposition", "result"], rows)
+
+
+def _cmd_baselines(spec: CrossbarSpec) -> str:
+    rows = []
+    group = spec.nanowires_per_half_cave
+    for omega, mesowires in ((20, 6), (32, 10), (64, 12), (372, 18)):
+        cmp = compare_with_deterministic(group, omega, mesowires)
+        rows.append(
+            [
+                omega,
+                mesowires,
+                f"{100 * cmp.deterministic_fraction:.1f}%",
+                f"{100 * cmp.random_code_fraction:.1f}%",
+                f"{100 * cmp.random_contact_fraction:.1f}%",
+            ]
+        )
+    return render_table(
+        ["Omega", "mesowires", "MSPT (this paper)", "random codes [6]",
+         "random contacts [8]"],
+        rows,
+    )
+
+
+def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    from repro.codes.registry import make_code
+    from repro.decoder.margins import margin_report
+
+    rows = []
+    for family in ("TC", "GC", "BGC"):
+        code = make_code(family, 2, args.length)
+        report = margin_report(
+            code, spec.nanowires_per_half_cave,
+            sigma_t=spec.sigma_t, k_sigma=args.k_sigma,
+        )
+        rows.append(
+            [
+                family,
+                f"{1000 * report.select_margin_v:.0f} mV",
+                f"{1000 * report.block_margin_v:.0f} mV",
+                "yes" if report.passes else "no",
+            ]
+        )
+    return render_table(["family", "select", "block", "passes"], rows)
+
+
+def _cmd_readout(args: argparse.Namespace) -> str:
+    from repro.crossbar.readout import ReadoutModel, margin_vs_bank_size
+
+    model = ReadoutModel(scheme=args.scheme)
+    rows = [
+        [size, f"{100 * margin:.1f}%"]
+        for size, margin in margin_vs_bank_size(model, (4, 8, 16, 20, 32, 64))
+    ]
+    return render_table(["bank size", "worst-case margin"], rows)
+
+
+def _cmd_calibrate() -> str:
+    from repro.analysis.calibration import default_point, grid_search
+
+    points = grid_search(
+        margins=(0.9, 1.0), gaps=(0.75, 1.0, 1.25), tolerances=(5.0,)
+    )
+    rows = [
+        [p.window_margin, p.contact_gap_factor, p.alignment_tolerance_nm,
+         f"{p.error:.3f}"]
+        for p in points[:6]
+    ]
+    table = render_table(["margin", "gap", "tol nm", "error"], rows, 2)
+    return table + f"\n\nshipped defaults error: {default_point().error:.3f}"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    spec = _spec_from_args(args)
+
+    data = None
+    if args.command == "info":
+        out = _cmd_info(spec)
+    elif args.command == "fig5":
+        out, data = _cmd_fig5()
+    elif args.command == "fig6":
+        out, data = _cmd_fig6()
+    elif args.command == "fig7":
+        out, data = _cmd_fig7(spec)
+    elif args.command == "fig8":
+        out, data = _cmd_fig8(spec)
+    elif args.command == "evaluate":
+        out = _cmd_evaluate(spec, args)
+    elif args.command == "optimize":
+        out = _cmd_optimize(spec, args.objective)
+    elif args.command == "simulate":
+        out = _cmd_simulate(spec, args)
+    elif args.command == "headline":
+        out = _cmd_headline(spec)
+    elif args.command == "theorems":
+        out = _cmd_theorems()
+    elif args.command == "baselines":
+        out = _cmd_baselines(spec)
+    elif args.command == "margins":
+        out = _cmd_margins(spec, args)
+    elif args.command == "readout":
+        out = _cmd_readout(args)
+    elif args.command == "calibrate":
+        out = _cmd_calibrate()
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.command)
+
+    print(out)
+    if data is not None:
+        csv_path = getattr(args, "csv", None)
+        if csv_path and args.command in ("fig7", "fig8"):
+            series_to_csv(data, csv_path)
+            print(f"wrote {csv_path}")
+        json_path = getattr(args, "json", None)
+        if json_path:
+            to_json(data, json_path)
+            print(f"wrote {json_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,256 @@
+"""Core abstractions for nanowire address-code spaces.
+
+The paper (Sec. 2.3) works with *ordered* code spaces: the set of code
+words identifies the nanowires, and the order of the words is the order in
+which nanowires are patterned during the MSPT flow.  Both aspects matter:
+
+* the *set* determines unique addressability (the reflected words must form
+  an antichain under the component-wise order, otherwise one nanowire's
+  conduction masks another's);
+* the *sequence* determines fabrication complexity and variability, because
+  each MSPT doping step also dopes all previously defined nanowires.
+
+A :class:`CodeSpace` is therefore an immutable ordered sequence of distinct
+n-ary words plus the metadata needed by the decoder model (logic valence
+``n``, whether the code is used in reflected form, a display name).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+Word = tuple[int, ...]
+
+
+class CodeError(ValueError):
+    """Raised when a code space is requested with inconsistent parameters."""
+
+
+def validate_word(word: Sequence[int], n: int) -> Word:
+    """Return ``word`` as a tuple after checking digits lie in ``[0, n)``.
+
+    Parameters
+    ----------
+    word:
+        Digit sequence to validate.
+    n:
+        Logic valence; every digit must be an integer in ``{0, ..., n-1}``.
+    """
+    if n < 2:
+        raise CodeError(f"logic valence must be >= 2, got {n}")
+    out = tuple(int(d) for d in word)
+    for d in out:
+        if not 0 <= d < n:
+            raise CodeError(f"digit {d} out of range for {n}-valued logic")
+    return out
+
+
+def complement_word(word: Word, n: int) -> Word:
+    """Return the complement of ``word`` w.r.t. the largest word of its space.
+
+    Sec. 2.3: "The complement is obtained by subtracting the code word from
+    the largest code word in the same code space", i.e. digit-wise
+    ``(n-1) - d``.
+    """
+    return tuple((n - 1) - d for d in word)
+
+
+def reflect_word(word: Word, n: int) -> Word:
+    """Return the reflected form ``word + complement(word)`` (Sec. 2.3)."""
+    return word + complement_word(word, n)
+
+
+def hamming_distance(a: Word, b: Word) -> int:
+    """Number of digit positions in which ``a`` and ``b`` differ."""
+    if len(a) != len(b):
+        raise CodeError("words must have equal length")
+    return sum(1 for x, y in zip(a, b) if x != y)
+
+
+def covers(a: Word, b: Word) -> bool:
+    """True if ``a`` dominates ``b`` component-wise (``a[j] >= b[j]`` for all j).
+
+    In the threshold-voltage conduction model a nanowire with pattern ``b``
+    conducts whenever the applied-voltage pattern selects ``a`` and
+    ``a >= b`` everywhere, so unique addressability requires that no word
+    of the (reflected) code dominates another.
+    """
+    if len(a) != len(b):
+        raise CodeError("words must have equal length")
+    return all(x >= y for x, y in zip(a, b))
+
+
+def is_antichain(words: Iterable[Word]) -> bool:
+    """True if no word of ``words`` component-wise dominates another.
+
+    An antichain code guarantees that applying the voltage pattern of any
+    code word turns on exactly one nanowire (Sec. 2.2, after [2]).
+    """
+    ws = list(words)
+    for i, a in enumerate(ws):
+        for j, b in enumerate(ws):
+            if i != j and covers(a, b):
+                return False
+    return True
+
+
+class CodeSpace:
+    """An immutable ordered sequence of distinct n-ary code words.
+
+    Parameters
+    ----------
+    words:
+        The ordered code words.  All words must share one length and be
+        distinct.
+    n:
+        Logic valence.
+    reflected:
+        If True the code is *used* in reflected form (Sec. 2.3): the
+        pattern written onto a nanowire is ``word + complement(word)``.
+        Tree-code-derived spaces (TC/GC/BGC) are always reflected; hot
+        codes are not, because their constant digit multiplicity already
+        makes them an antichain.
+    name:
+        Short display name, e.g. ``"GC"``.
+    """
+
+    #: registry-style short name of the family, overridden by subclasses.
+    family = "custom"
+
+    def __init__(
+        self,
+        words: Iterable[Sequence[int]],
+        n: int,
+        reflected: bool = False,
+        name: str | None = None,
+    ) -> None:
+        validated = [validate_word(w, n) for w in words]
+        if not validated:
+            raise CodeError("a code space needs at least one word")
+        lengths = {len(w) for w in validated}
+        if len(lengths) != 1:
+            raise CodeError(f"words have mixed lengths: {sorted(lengths)}")
+        if len(set(validated)) != len(validated):
+            raise CodeError("code words must be distinct")
+        self._words: tuple[Word, ...] = tuple(validated)
+        self._n = int(n)
+        self._reflected = bool(reflected)
+        self._name = name or self.family
+
+    # -- basic introspection -------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Logic valence (number of threshold-voltage levels)."""
+        return self._n
+
+    @property
+    def reflected(self) -> bool:
+        """Whether patterns are produced in reflected form."""
+        return self._reflected
+
+    @property
+    def name(self) -> str:
+        """Display name of this code space."""
+        return self._name
+
+    @property
+    def words(self) -> tuple[Word, ...]:
+        """The ordered raw (unreflected) code words."""
+        return self._words
+
+    @property
+    def size(self) -> int:
+        """Code-space size Omega = number of addressable patterns."""
+        return len(self._words)
+
+    @property
+    def length(self) -> int:
+        """Raw word length (before reflection)."""
+        return len(self._words[0])
+
+    @property
+    def total_length(self) -> int:
+        """Length M of the pattern written on a nanowire (with reflection)."""
+        return 2 * self.length if self._reflected else self.length
+
+    # -- pattern-facing API --------------------------------------------------
+
+    def pattern_word(self, i: int) -> Word:
+        """Pattern (possibly reflected word) for code index ``i``."""
+        w = self._words[i]
+        return reflect_word(w, self._n) if self._reflected else w
+
+    def pattern_words(self) -> list[Word]:
+        """All pattern words, in code order."""
+        return [self.pattern_word(i) for i in range(self.size)]
+
+    def pattern_rows(self, count: int) -> list[Word]:
+        """Patterns for ``count`` nanowires, cycling through the code space.
+
+        A half cave may contain more nanowires than the code space holds;
+        nanowires beyond Omega restart the code in the next contact group
+        (Sec. 6.1), so row ``i`` receives pattern ``i mod Omega``.
+        """
+        if count < 1:
+            raise CodeError(f"need at least one nanowire, got {count}")
+        return [self.pattern_word(i % self.size) for i in range(count)]
+
+    # -- arrangement ----------------------------------------------------------
+
+    def rearranged(self, order: Sequence[int], name: str | None = None) -> "CodeSpace":
+        """Return a new code space with the same words in a new order."""
+        if sorted(order) != list(range(self.size)):
+            raise CodeError("order must be a permutation of word indices")
+        out = CodeSpace(
+            [self._words[i] for i in order],
+            self._n,
+            reflected=self._reflected,
+            name=name or f"{self._name}-rearranged",
+        )
+        out.family = self.family
+        return out
+
+    # -- dunder glue -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Word]:
+        return iter(self._words)
+
+    def __getitem__(self, i: int) -> Word:
+        return self._words[i]
+
+    def __contains__(self, word: object) -> bool:
+        return word in set(self._words)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CodeSpace):
+            return NotImplemented
+        return (
+            self._words == other._words
+            and self._n == other._n
+            and self._reflected == other._reflected
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._words, self._n, self._reflected))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self._name!r}, n={self._n}, "
+            f"size={self.size}, length={self.length}, "
+            f"reflected={self._reflected})"
+        )
+
+    # -- addressability --------------------------------------------------------
+
+    def is_uniquely_addressable(self) -> bool:
+        """True if the pattern words form an antichain (Sec. 2.2).
+
+        Reflection makes every pattern word have the constant digit sum
+        ``length * (n - 1)``, which forces the antichain property; hot
+        codes achieve the same through their fixed value multiplicities.
+        """
+        return is_antichain(self.pattern_words())

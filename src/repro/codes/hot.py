@@ -1,0 +1,116 @@
+"""Hot codes (HC): fixed-multiplicity n-ary codes (Sec. 2.3).
+
+A hot code over ``n``-valued logic with parameters ``(M, k)``, where
+``M = k * n``, is the set of all length-``M`` words in which *every* value
+``0..n-1`` appears exactly ``k`` times.  For binary logic this is the
+classic "k-hot" (constant-weight) code — the code space is all
+``C(M, k)`` bit strings of weight ``k``.
+
+Because every word has the same value multiplicities, no word can
+component-wise dominate another, so hot codes are uniquely addressing
+*without* reflection; the pattern written on the nanowire is the word
+itself and the paper's plotted "code length" equals ``M`` directly.
+
+Words are enumerated in lexicographic order by default (the unoptimised
+baseline of Sec. 5.2); :mod:`repro.codes.arranged` provides the
+minimum-transition arrangement (AHC).
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+from repro.codes.base import CodeError, CodeSpace, Word
+
+
+def multiset_permutations(multiplicities: list[int]) -> list[Word]:
+    """All distinct permutations of the multiset, in lexicographic order.
+
+    ``multiplicities[v]`` is how many copies of value ``v`` the words
+    contain.  Implemented as a direct recursive generator over remaining
+    counts — no itertools de-duplication, so the cost is proportional to
+    the output size.
+    """
+    total = sum(multiplicities)
+    if total == 0:
+        raise CodeError("empty multiset")
+    counts = list(multiplicities)
+    word: list[int] = []
+    out: list[Word] = []
+
+    def rec() -> None:
+        if len(word) == total:
+            out.append(tuple(word))
+            return
+        for v, c in enumerate(counts):
+            if c > 0:
+                counts[v] -= 1
+                word.append(v)
+                rec()
+                word.pop()
+                counts[v] += 1
+
+    rec()
+    return out
+
+
+def hot_code_size(n: int, k: int) -> int:
+    """Multinomial size of the hot-code space: ``(k*n)! / (k!)**n``."""
+    return factorial(k * n) // factorial(k) ** n
+
+
+def hot_words(n: int, k: int) -> list[Word]:
+    """All hot-code words for multiplicity ``k`` over ``n`` values."""
+    if n < 2:
+        raise CodeError(f"logic valence must be >= 2, got {n}")
+    if k < 1:
+        raise CodeError(f"value multiplicity must be >= 1, got {k}")
+    return multiset_permutations([k] * n)
+
+
+class HotCode(CodeSpace):
+    """The (M, k) hot code in lexicographic order, ``M = k * n``.
+
+    Examples
+    --------
+    >>> hc = HotCode(n=2, k=2)
+    >>> hc.size
+    6
+    >>> hc.words[0]
+    (0, 0, 1, 1)
+    >>> hc.is_uniquely_addressable()
+    True
+    """
+
+    family = "HC"
+
+    def __init__(self, n: int, k: int) -> None:
+        self._k = int(k)
+        super().__init__(
+            hot_words(n, k),
+            n,
+            reflected=False,
+            name=f"HC(n={n},M={k * n},k={k})",
+        )
+
+    @property
+    def k(self) -> int:
+        """Value multiplicity: every value appears exactly ``k`` times."""
+        return self._k
+
+    @classmethod
+    def from_total_length(cls, n: int, total_length: int) -> "HotCode":
+        """Build from the word length ``M``; requires ``n | M``."""
+        if total_length % n != 0:
+            raise CodeError(
+                f"hot codes need M divisible by n, got M={total_length}, n={n}"
+            )
+        return cls(n, total_length // n)
+
+    @classmethod
+    def shortest_covering(cls, n: int, count: int) -> "HotCode":
+        """Smallest hot code whose space holds at least ``count`` words."""
+        k = 1
+        while hot_code_size(n, k) < count:
+            k += 1
+        return cls(n, k)

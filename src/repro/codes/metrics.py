@@ -1,0 +1,98 @@
+"""Transition metrics on code-word sequences.
+
+The MSPT decoder cost functions (fabrication complexity Phi, variability
+``||Sigma||_1``) are both monotone in the number of digit transitions
+between successive code words (Props. 4 and 5).  This module provides the
+counting primitives those results rest on, for raw and reflected words.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.codes.base import CodeSpace, Word, hamming_distance
+
+
+def transition_positions(a: Word, b: Word) -> list[int]:
+    """Digit positions at which ``a`` and ``b`` differ."""
+    if len(a) != len(b):
+        raise ValueError("words must have equal length")
+    return [j for j, (x, y) in enumerate(zip(a, b)) if x != y]
+
+
+def step_transitions(words: Sequence[Word]) -> list[int]:
+    """Hamming distance between each pair of successive words."""
+    return [hamming_distance(a, b) for a, b in zip(words, words[1:])]
+
+
+def total_transitions(words: Sequence[Word]) -> int:
+    """Total number of digit transitions along the sequence."""
+    return sum(step_transitions(words))
+
+
+def digit_transition_counts(words: Sequence[Word]) -> list[int]:
+    """Per-digit transition counts ``t_j`` along the sequence.
+
+    ``t_j`` is the number of successive pairs whose digit ``j`` differs.
+    Balanced Gray codes make the ``t_j`` as equal as possible, spreading
+    variability evenly across the doping regions (Fig. 6.e/f).
+    """
+    if not words:
+        return []
+    length = len(words[0])
+    counts = [0] * length
+    for a, b in zip(words, words[1:]):
+        for j in transition_positions(a, b):
+            counts[j] += 1
+    return counts
+
+
+def max_digit_transitions(words: Sequence[Word]) -> int:
+    """Largest per-digit transition count (the balance bottleneck)."""
+    counts = digit_transition_counts(words)
+    return max(counts) if counts else 0
+
+
+def balance_spread(words: Sequence[Word]) -> int:
+    """Difference between the largest and smallest per-digit counts.
+
+    Zero for a perfectly balanced sequence.
+    """
+    counts = digit_transition_counts(words)
+    if not counts:
+        return 0
+    return max(counts) - min(counts)
+
+
+def is_gray_sequence(words: Sequence[Word]) -> bool:
+    """True if every pair of successive words differs in exactly one digit."""
+    return all(d == 1 for d in step_transitions(words))
+
+
+def is_distance_sequence(words: Sequence[Word], distance: int) -> bool:
+    """True if every successive pair differs in exactly ``distance`` digits."""
+    return all(d == distance for d in step_transitions(words))
+
+
+def space_transition_summary(space: CodeSpace, rows: int | None = None) -> dict:
+    """Transition statistics of a code space's *pattern* sequence.
+
+    Reflection doubles each transition (a changing digit drags its
+    complement along), so the statistics are computed on the pattern
+    words actually written onto the nanowires.  ``rows`` patterns are
+    produced (default: one full pass through the space), cycling if the
+    half cave holds more nanowires than the space has words.
+    """
+    count = space.size if rows is None else rows
+    patterns = space.pattern_rows(count)
+    per_digit = digit_transition_counts(patterns)
+    steps = step_transitions(patterns)
+    return {
+        "name": space.name,
+        "rows": count,
+        "total_transitions": sum(steps),
+        "max_step": max(steps) if steps else 0,
+        "mean_step": (sum(steps) / len(steps)) if steps else 0.0,
+        "per_digit": per_digit,
+        "balance_spread": (max(per_digit) - min(per_digit)) if per_digit else 0,
+    }

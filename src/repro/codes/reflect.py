@@ -1,0 +1,63 @@
+"""Reflection helpers for tree-code-derived spaces (Sec. 2.3).
+
+Tree codes do not uniquely address nanowires on their own: the all-zeros
+word is dominated by every other word, so applying any address would also
+turn on the all-zeros nanowire.  The paper therefore uses every tree-code
+word in *reflected* form: the word is concatenated with its complement
+with respect to the largest word of the space.  The reflected words all
+share the digit sum ``m * (n - 1)`` and hence form an antichain.
+
+The functions here operate on whole code spaces; single-word operations
+live in :mod:`repro.codes.base`.
+"""
+
+from __future__ import annotations
+
+from repro.codes.base import CodeSpace, Word, complement_word, reflect_word
+
+
+def reflect_space(space: CodeSpace, name: str | None = None) -> CodeSpace:
+    """Materialise the reflected words of ``space`` as an unreflected space.
+
+    The returned space contains the *explicit* length-``2m`` words and has
+    ``reflected=False``; it is mostly useful for inspection and testing,
+    since :class:`~repro.codes.base.CodeSpace` already applies reflection
+    implicitly when building patterns.
+    """
+    out = CodeSpace(
+        [reflect_word(w, space.n) for w in space.words],
+        space.n,
+        reflected=False,
+        name=name or f"{space.name}-explicit",
+    )
+    out.family = space.family
+    return out
+
+
+def unreflect_word(word: Word, n: int) -> Word:
+    """Invert :func:`repro.codes.base.reflect_word`.
+
+    Checks that the second half really is the complement of the first half
+    and returns the first half.
+    """
+    if len(word) % 2 != 0:
+        raise ValueError("a reflected word must have even length")
+    half = len(word) // 2
+    head, tail = word[:half], word[half:]
+    if complement_word(head, n) != tail:
+        raise ValueError(f"word {word} is not in reflected form for n={n}")
+    return head
+
+
+def digit_sum(word: Word) -> int:
+    """Sum of digits; constant across a reflected tree-code space."""
+    return sum(word)
+
+
+def is_reflected_form(word: Word, n: int) -> bool:
+    """True if ``word`` equals ``head + complement(head)`` for its halves."""
+    try:
+        unreflect_word(word, n)
+    except ValueError:
+        return False
+    return True

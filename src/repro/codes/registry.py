@@ -1,0 +1,96 @@
+"""Code factory: build any of the paper's five code families by name.
+
+The evaluation section sweeps code families by their *total* on-nanowire
+length ``M`` (the paper's plotted "code length"), which already includes
+the reflected half for tree-code-derived families.  This module provides
+the single entry point used by the simulation platform and benches:
+
+>>> from repro.codes.registry import make_code
+>>> make_code("BGC", n=2, total_length=8).size
+16
+>>> make_code("HC", n=2, total_length=6).size
+20
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.codes.arranged import ArrangedHotCode
+from repro.codes.balanced import BalancedGrayCode
+from repro.codes.base import CodeError, CodeSpace
+from repro.codes.gray import GrayCode
+from repro.codes.hot import HotCode
+from repro.codes.tree import TreeCode
+
+#: Families arranged from a tree-code space and used in reflected form.
+TREE_FAMILIES = ("TC", "GC", "BGC")
+#: Families based on fixed-multiplicity words, used unreflected.
+HOT_FAMILIES = ("HC", "AHC")
+#: All families in the order the paper introduces them.
+ALL_FAMILIES = TREE_FAMILIES + HOT_FAMILIES
+
+_BUILDERS: dict[str, Callable[[int, int], CodeSpace]] = {
+    "TC": TreeCode.from_total_length,
+    "GC": GrayCode.from_total_length,
+    "BGC": BalancedGrayCode.from_total_length,
+    "HC": HotCode.from_total_length,
+    "AHC": ArrangedHotCode.from_total_length,
+}
+
+
+def make_code(family: str, n: int, total_length: int) -> CodeSpace:
+    """Build a code space by family name and total pattern length ``M``.
+
+    Parameters
+    ----------
+    family:
+        One of ``"TC"``, ``"GC"``, ``"BGC"``, ``"HC"``, ``"AHC"``
+        (case-insensitive).
+    n:
+        Logic valence (2 = binary, 3 = ternary, ...).
+    total_length:
+        Number of doping regions ``M`` along the nanowire.  Tree-derived
+        families require it even (reflection); hot families require it to
+        be a multiple of ``n``.
+    """
+    key = family.strip().upper()
+    if key not in _BUILDERS:
+        raise CodeError(
+            f"unknown code family {family!r}; expected one of {ALL_FAMILIES}"
+        )
+    return _BUILDERS[key](n, total_length)
+
+
+def family_lengths(family: str, lengths: tuple[int, ...] | None = None) -> tuple[int, ...]:
+    """Default paper sweep lengths for a family (Fig. 7 / Fig. 8 x-axes)."""
+    key = family.strip().upper()
+    if lengths is not None:
+        return lengths
+    if key in TREE_FAMILIES:
+        return (6, 8, 10)
+    if key in HOT_FAMILIES:
+        return (4, 6, 8)
+    raise CodeError(f"unknown code family {family!r}")
+
+
+def shortest_covering_code(family: str, n: int, count: int) -> CodeSpace:
+    """Smallest code of a family whose space holds >= ``count`` words.
+
+    Used by the Fig. 5 experiment, where each logic valence gets the
+    shortest adequate code for ``N`` nanowires per half cave.
+    """
+    key = family.strip().upper()
+    if key == "TC":
+        return TreeCode.shortest_covering(n, count)
+    if key == "GC":
+        return GrayCode.shortest_covering(n, count)
+    if key == "BGC":
+        tc = TreeCode.shortest_covering(n, count)
+        return BalancedGrayCode(n, tc.length)
+    if key == "HC":
+        return HotCode.shortest_covering(n, count)
+    if key == "AHC":
+        hc = HotCode.shortest_covering(n, count)
+        return ArrangedHotCode(n, hc.k)
+    raise CodeError(f"unknown code family {family!r}")

@@ -1,0 +1,94 @@
+"""Tree codes (TC): the full n-ary counting code space (Sec. 2.3).
+
+A tree code of length ``m`` over ``n``-valued logic is simply the set of
+all ``n**m`` digit strings, enumerated here in counting (lexicographic)
+order — the order in which the paper's baseline decoder patterns the
+nanowires.  Tree codes are always *used* in reflected form (the paper:
+"In the rest of the paper, all TCs are implicitly considered to be
+reflected"), so a requested *total* length ``M`` corresponds to a raw
+length ``m = M / 2``.
+"""
+
+from __future__ import annotations
+
+from repro.codes.base import CodeError, CodeSpace, Word
+
+
+def int_to_word(value: int, n: int, length: int) -> Word:
+    """Digits of ``value`` in base ``n``, most-significant digit first."""
+    if value < 0 or value >= n**length:
+        raise CodeError(f"value {value} out of range for {length} base-{n} digits")
+    digits = []
+    for _ in range(length):
+        digits.append(value % n)
+        value //= n
+    return tuple(reversed(digits))
+
+
+def word_to_int(word: Word, n: int) -> int:
+    """Inverse of :func:`int_to_word`."""
+    value = 0
+    for d in word:
+        if not 0 <= d < n:
+            raise CodeError(f"digit {d} out of range for base {n}")
+        value = value * n + d
+    return value
+
+
+def counting_words(n: int, length: int) -> list[Word]:
+    """All base-``n`` words of ``length`` digits, in counting order."""
+    if length < 1:
+        raise CodeError(f"word length must be >= 1, got {length}")
+    return [int_to_word(v, n, length) for v in range(n**length)]
+
+
+class TreeCode(CodeSpace):
+    """The complete n-ary tree code in counting order, used reflected.
+
+    Parameters
+    ----------
+    n:
+        Logic valence.
+    length:
+        Raw word length ``m``; the on-nanowire pattern has ``M = 2 m``
+        doping regions after reflection.
+
+    Examples
+    --------
+    >>> tc = TreeCode(n=2, length=2)
+    >>> tc.words
+    ((0, 0), (0, 1), (1, 0), (1, 1))
+    >>> tc.pattern_word(1)   # reflected form
+    (0, 1, 1, 0)
+    """
+
+    family = "TC"
+
+    def __init__(self, n: int, length: int) -> None:
+        super().__init__(
+            counting_words(n, length),
+            n,
+            reflected=True,
+            name=f"TC(n={n},m={length})",
+        )
+
+    @classmethod
+    def from_total_length(cls, n: int, total_length: int) -> "TreeCode":
+        """Build from the reflected length ``M`` used in the paper's plots."""
+        if total_length % 2 != 0:
+            raise CodeError(
+                f"reflected tree codes need an even total length, got {total_length}"
+            )
+        return cls(n, total_length // 2)
+
+    @classmethod
+    def shortest_covering(cls, n: int, count: int) -> "TreeCode":
+        """Smallest tree code whose space holds at least ``count`` words.
+
+        Used by the Fig. 5 experiment, which patterns ``N`` nanowires with
+        the shortest adequate code of each logic valence.
+        """
+        length = 1
+        while n**length < count:
+            length += 1
+        return cls(n, length)

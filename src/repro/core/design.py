@@ -1,0 +1,131 @@
+"""High-level decoder design facade — the library's main entry point.
+
+:class:`DecoderDesign` ties together one code choice (family, valence,
+length) and one platform specification, exposing every figure of merit
+the paper evaluates: fabrication complexity, variability, yield, bit
+area, plus the underlying matrices for inspection.
+
+Example
+-------
+>>> from repro import DecoderDesign
+>>> design = DecoderDesign.build("BGC", total_length=10)
+>>> design.cave_yield > 0.5
+True
+>>> design.fabrication_complexity
+40
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.codes.base import CodeSpace
+from repro.codes.registry import make_code
+from repro.crossbar.area import AreaReport, effective_bit_area
+from repro.crossbar.geometry import CrossbarFloorplan
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import YieldReport, crossbar_yield, decoder_for
+from repro.decoder.decoder import HalfCaveDecoder
+
+
+@dataclass(frozen=True)
+class DecoderDesign:
+    """One complete decoder design point on the simulation platform."""
+
+    space: CodeSpace
+    spec: CrossbarSpec = field(default_factory=CrossbarSpec)
+
+    @classmethod
+    def build(
+        cls,
+        family: str,
+        total_length: int,
+        n: int = 2,
+        spec: CrossbarSpec | None = None,
+    ) -> "DecoderDesign":
+        """Construct from a code family name and total length M."""
+        return cls(
+            space=make_code(family, n, total_length),
+            spec=spec or CrossbarSpec(),
+        )
+
+    # -- sub-models ---------------------------------------------------------
+
+    @cached_property
+    def decoder(self) -> HalfCaveDecoder:
+        """Per-half-cave decoder model."""
+        return decoder_for(self.spec, self.space)
+
+    @cached_property
+    def yield_report(self) -> YieldReport:
+        """Analytic yield figures (Fig. 7 metric)."""
+        return crossbar_yield(self.spec, self.space)
+
+    @cached_property
+    def area_report(self) -> AreaReport:
+        """Floorplan and bit-area figures (Fig. 8 metric)."""
+        return effective_bit_area(self.spec, self.space)
+
+    @cached_property
+    def floorplan(self) -> CrossbarFloorplan:
+        """Geometric floorplan of the crossbar macro."""
+        return CrossbarFloorplan(
+            spec=self.spec,
+            code_length=self.space.total_length,
+            groups_per_half_cave=self.decoder.group_plan.group_count,
+        )
+
+    # -- headline figures ------------------------------------------------------
+
+    @property
+    def fabrication_complexity(self) -> int:
+        """Phi — extra lithography/doping steps per half cave."""
+        return self.decoder.fabrication_complexity
+
+    @property
+    def sigma_norm(self) -> float:
+        """``||Sigma||_1`` of the half cave [V^2]."""
+        return self.decoder.sigma_norm
+
+    @property
+    def average_variability(self) -> float:
+        """``||Sigma||_1 / (N M)`` [V^2]."""
+        return self.decoder.average_variability
+
+    @property
+    def cave_yield(self) -> float:
+        """Addressable fraction of a half cave's nanowires."""
+        return self.yield_report.cave_yield
+
+    @property
+    def effective_bits(self) -> float:
+        """Expected working crosspoints: D_RAW * Y^2."""
+        return self.yield_report.effective_bits
+
+    @property
+    def bit_area_nm2(self) -> float:
+        """Average area per functional bit [nm^2]."""
+        return self.area_report.effective_bit_area_nm2
+
+    @property
+    def variability_map(self) -> np.ndarray:
+        """``sqrt(Sigma)/sigma_T`` surface — the Fig. 6 panel."""
+        return np.sqrt(self.decoder.nu.astype(float))
+
+    def summary(self) -> dict:
+        """All headline figures in one record."""
+        return {
+            "code": self.space.name,
+            "family": self.space.family,
+            "n": self.space.n,
+            "length": self.space.total_length,
+            "code_space": self.space.size,
+            "phi": self.fabrication_complexity,
+            "sigma_norm_V2": self.sigma_norm,
+            "cave_yield": self.cave_yield,
+            "effective_kbits": self.effective_bits / 1024.0,
+            "bit_area_nm2": self.bit_area_nm2,
+        }

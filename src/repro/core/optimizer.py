@@ -1,0 +1,96 @@
+"""Design-space exploration: pick code family and length per objective.
+
+Sec. 6.2 concludes that "the decoder design covers not only the code
+type but also its length"; this module automates that choice.  The
+design space is the cross product of code families and admissible
+lengths; every point is scored with a named objective (Prop. 3's Phi or
+``||Sigma||_1``, or the circuit-level yield / bit-area) and the best
+point is returned together with the full exploration record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import CodeError
+from repro.codes.registry import ALL_FAMILIES, make_code
+from repro.core.design import DecoderDesign
+from repro.core.objectives import get_objective
+from repro.crossbar.spec import CrossbarSpec
+
+#: Default length sweep of the paper's evaluation (total length M).
+DEFAULT_LENGTHS = (4, 6, 8, 10)
+
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    """One evaluated design point."""
+
+    design: DecoderDesign
+    cost: float
+
+    @property
+    def label(self) -> str:
+        """Short display label such as ``BGC/10``."""
+        return f"{self.design.space.family}/{self.design.space.total_length}"
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Outcome of a design-space exploration."""
+
+    objective: str
+    points: tuple[ExplorationPoint, ...]
+
+    @property
+    def best(self) -> ExplorationPoint:
+        """Point with the lowest cost."""
+        return min(self.points, key=lambda p: p.cost)
+
+    def ranking(self) -> list[ExplorationPoint]:
+        """All points sorted best-first."""
+        return sorted(self.points, key=lambda p: p.cost)
+
+
+def explore_designs(
+    objective: str = "bit_area",
+    families: tuple[str, ...] = ALL_FAMILIES,
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    n: int = 2,
+    spec: CrossbarSpec | None = None,
+) -> ExplorationResult:
+    """Score every admissible (family, length) point with ``objective``.
+
+    Lengths that a family cannot realise (odd lengths for reflected
+    codes, lengths not divisible by n for hot codes) are skipped.
+    """
+    spec = spec or CrossbarSpec()
+    score = get_objective(objective)
+    points: list[ExplorationPoint] = []
+    for family in families:
+        for length in lengths:
+            try:
+                space = make_code(family, n, length)
+            except CodeError:
+                continue
+            design = DecoderDesign(space=space, spec=spec)
+            points.append(
+                ExplorationPoint(design=design, cost=score(spec, space))
+            )
+    if not points:
+        raise ValueError(
+            f"no admissible design points for families={families}, "
+            f"lengths={lengths}, n={n}"
+        )
+    return ExplorationResult(objective=objective, points=tuple(points))
+
+
+def optimize_design(
+    objective: str = "bit_area",
+    families: tuple[str, ...] = ALL_FAMILIES,
+    lengths: tuple[int, ...] = DEFAULT_LENGTHS,
+    n: int = 2,
+    spec: CrossbarSpec | None = None,
+) -> DecoderDesign:
+    """Best design point for ``objective`` (convenience wrapper)."""
+    return explore_designs(objective, families, lengths, n, spec).best.design

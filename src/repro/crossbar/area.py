@@ -1,0 +1,68 @@
+"""Effective bit-area model (paper Sec. 6.2, Fig. 8).
+
+The average area per *functional* bit divides the crossbar macro area by
+the effective (working) crosspoint count:
+
+    bit_area = total_area / (D_RAW * Y^2)
+
+Longer codes spend more mesowires (area up) but need fewer contact
+groups and suffer less boundary loss (yield up); the optimum around
+M ~ 10 for tree-derived codes and M ~ 6 for hot codes is the shape the
+paper reports, with a minimum around 170 nm^2 for the optimised codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import CodeSpace
+from repro.codes.registry import make_code
+from repro.crossbar.geometry import CrossbarFloorplan
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import YieldReport, crossbar_yield, decoder_for
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area figures of one crossbar design point."""
+
+    code_name: str
+    code_length: int
+    total_area_nm2: float
+    raw_bit_area_nm2: float
+    effective_bit_area_nm2: float
+    cave_yield: float
+
+
+def effective_bit_area(spec: CrossbarSpec, space: CodeSpace) -> AreaReport:
+    """Average area per functional bit for one code on the platform."""
+    decoder = decoder_for(spec, space)
+    plan = decoder.group_plan
+    floor = CrossbarFloorplan(
+        spec=spec,
+        code_length=space.total_length,
+        groups_per_half_cave=plan.group_count,
+    )
+    report: YieldReport = crossbar_yield(spec, space)
+    if report.effective_bits <= 0:
+        raise ValueError(
+            f"design point {space.name} yields no working crosspoints"
+        )
+    return AreaReport(
+        code_name=space.name,
+        code_length=space.total_length,
+        total_area_nm2=floor.total_area_nm2,
+        raw_bit_area_nm2=floor.raw_bit_area_nm2,
+        effective_bit_area_nm2=floor.total_area_nm2 / report.effective_bits,
+        cave_yield=report.cave_yield,
+    )
+
+
+def family_area_sweep(
+    spec: CrossbarSpec,
+    family: str,
+    lengths: tuple[int, ...],
+    n: int = 2,
+) -> list[AreaReport]:
+    """Bit-area reports of one code family across lengths (a Fig. 8 group)."""
+    return [effective_bit_area(spec, make_code(family, n, m)) for m in lengths]

@@ -1,0 +1,169 @@
+"""Hamming SECDED error correction over the crossbar memory.
+
+The paper motivates nanowire crossbars with the need for "innovative
+defect tolerance methods at all design levels" (Sec. 1).  The decoder
+layer removes wires that fail *addressing*; residual bit errors (e.g. a
+crosspoint drifting between test and use) are the memory layer's
+problem.  This module provides the standard solution a crossbar memory
+would ship with: extended Hamming (SECDED) codes — single-error
+correction, double-error detection — over the defect-aware
+:class:`~repro.crossbar.memory.CrossbarMemory`.
+
+The code is parametric in the number of parity bits ``r``: data width
+``2**r - r - 1``, block width ``2**r`` (including the overall parity
+bit), e.g. r = 6 gives the classic (64, 57) + parity layout; r = 3
+gives the textbook (8, 4) code used in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.crossbar.memory import CrossbarMemory
+
+
+class EccError(RuntimeError):
+    """Raised on uncorrectable (double) errors or bad parameters."""
+
+
+@dataclass(frozen=True)
+class SecdedCode:
+    """Extended Hamming code with ``parity_bits`` check bits.
+
+    Attributes
+    ----------
+    parity_bits:
+        Number of Hamming parity bits r (>= 2); the block additionally
+        carries one overall-parity bit.
+    """
+
+    parity_bits: int = 6
+
+    def __post_init__(self) -> None:
+        if self.parity_bits < 2:
+            raise EccError(f"need at least 2 parity bits, got {self.parity_bits}")
+
+    @property
+    def data_bits(self) -> int:
+        """Payload bits per block: 2**r - r - 1."""
+        return 2**self.parity_bits - self.parity_bits - 1
+
+    @property
+    def block_bits(self) -> int:
+        """Total stored bits per block: 2**r (Hamming + overall parity)."""
+        return 2**self.parity_bits
+
+    # -- position layout ------------------------------------------------------
+    # Classic Hamming layout on positions 1..2**r-1: powers of two hold
+    # parity, the rest hold data; position 0 holds the overall parity.
+
+    def _data_positions(self) -> np.ndarray:
+        positions = np.arange(1, self.block_bits)
+        return positions[(positions & (positions - 1)) != 0]
+
+    def encode(self, data: np.ndarray) -> np.ndarray:
+        """Encode ``data_bits`` payload bits into a ``block_bits`` block."""
+        data = np.asarray(data, dtype=bool)
+        if data.shape != (self.data_bits,):
+            raise EccError(
+                f"payload must have {self.data_bits} bits, got {data.shape}"
+            )
+        block = np.zeros(self.block_bits, dtype=bool)
+        block[self._data_positions()] = data
+        for p in range(self.parity_bits):
+            mask = (np.arange(self.block_bits) >> p) & 1 == 1
+            block[1 << p] = block[mask].sum() % 2 == 1
+        block[0] = block[1:].sum() % 2 == 1
+        return block
+
+    def decode(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        """Decode a block; returns (payload, corrected_position_or_minus_one).
+
+        Raises
+        ------
+        EccError
+            On a detected double error (non-zero syndrome with even
+            overall parity).
+        """
+        block = np.asarray(block, dtype=bool).copy()
+        if block.shape != (self.block_bits,):
+            raise EccError(
+                f"block must have {self.block_bits} bits, got {block.shape}"
+            )
+        syndrome = 0
+        for p in range(self.parity_bits):
+            mask = (np.arange(self.block_bits) >> p) & 1 == 1
+            if block[mask].sum() % 2 == 1:
+                syndrome |= 1 << p
+        overall = block.sum() % 2 == 1
+        corrected = -1
+        if syndrome != 0 and overall:
+            block[syndrome] = ~block[syndrome]
+            corrected = syndrome
+        elif syndrome != 0 and not overall:
+            raise EccError(f"uncorrectable double error (syndrome {syndrome})")
+        elif syndrome == 0 and overall:
+            block[0] = ~block[0]
+            corrected = 0
+        return block[self._data_positions()], corrected
+
+
+class EccMemory:
+    """SECDED-protected view over a crossbar memory.
+
+    Payload addresses are in units of code blocks; each block occupies
+    ``code.block_bits`` crosspoints of the underlying memory.
+    """
+
+    def __init__(self, memory: CrossbarMemory, code: SecdedCode | None = None) -> None:
+        self._memory = memory
+        self._code = code or SecdedCode()
+        self._corrections = 0
+
+    @property
+    def code(self) -> SecdedCode:
+        """The SECDED code in use."""
+        return self._code
+
+    @property
+    def block_count(self) -> int:
+        """Number of code blocks that fit in the usable capacity."""
+        return self._memory.capacity_bits // self._code.block_bits
+
+    @property
+    def capacity_bits(self) -> int:
+        """Protected payload capacity."""
+        return self.block_count * self._code.data_bits
+
+    @property
+    def corrections(self) -> int:
+        """Single-bit errors corrected since construction."""
+        return self._corrections
+
+    def write_block(self, index: int, data: np.ndarray) -> None:
+        """Encode and store one payload block."""
+        if not 0 <= index < self.block_count:
+            raise EccError(f"block {index} outside capacity {self.block_count}")
+        encoded = self._code.encode(np.asarray(data, dtype=bool))
+        self._memory.write_block(index * self._code.block_bits, encoded)
+
+    def read_block(self, index: int) -> np.ndarray:
+        """Read, correct and decode one payload block."""
+        if not 0 <= index < self.block_count:
+            raise EccError(f"block {index} outside capacity {self.block_count}")
+        raw = self._memory.read_block(
+            index * self._code.block_bits, self._code.block_bits
+        )
+        data, corrected = self._code.decode(raw)
+        if corrected >= 0:
+            self._corrections += 1
+        return data
+
+    def inject_bit_error(self, index: int, position: int) -> None:
+        """Flip one stored bit of a block (fault-injection hook for tests)."""
+        if not 0 <= position < self._code.block_bits:
+            raise EccError(f"bit position {position} outside block")
+        address = index * self._code.block_bits + position
+        self._memory.write(address, not self._memory.read(address))

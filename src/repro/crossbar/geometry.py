@@ -1,0 +1,96 @@
+"""Crossbar floorplan and area model (paper Sec. 6.1-6.2, Fig. 8 basis).
+
+The crossbar is square: two perpendicular nanowire layers, each with its
+own decoder.  Along each axis the length is the sum of:
+
+* the array core — ``side`` nanowires at pitch P_N;
+* cave separation — each cave is bounded by a (lithographically defined)
+  sacrificial wall, one wall width per cave;
+* the decoder of the perpendicular layer:
+  * ``M`` address mesowires at pitch P_L (the VA lines of Fig. 1),
+  * ``g`` contact-via rows at the minimum printable contact width (each
+    contact group needs its own mesowire row, Sec. 2.2).
+
+The model intentionally contains nothing code-specific other than
+``M`` (code length) and ``g`` (contact groups per half cave), which is
+exactly the dependence the paper's Fig. 8 explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crossbar.spec import CrossbarSpec
+
+
+@dataclass(frozen=True)
+class CrossbarFloorplan:
+    """Geometric floorplan of the square crossbar.
+
+    Parameters
+    ----------
+    spec:
+        Crossbar specification (density, pitches).
+    code_length:
+        Doping regions M along each nanowire (= address mesowires).
+    groups_per_half_cave:
+        Contact groups g in every half cave.
+    """
+
+    spec: CrossbarSpec
+    code_length: int
+    groups_per_half_cave: int
+
+    def __post_init__(self) -> None:
+        if self.code_length < 1:
+            raise ValueError("code length must be >= 1")
+        if self.groups_per_half_cave < 1:
+            raise ValueError("need at least one contact group")
+
+    @property
+    def core_span_nm(self) -> float:
+        """Array-core extent: side nanowires at the nanowire pitch [nm]."""
+        return self.spec.side_nanowires * self.spec.rules.nanowire_pitch_nm
+
+    @property
+    def cave_wall_span_nm(self) -> float:
+        """Total sacrificial-wall width across one axis [nm].
+
+        One lithographic wall per cave bounds the spacer loop (Fig. 2).
+        """
+        return self.spec.caves_per_layer * self.spec.rules.litho_pitch_nm
+
+    @property
+    def mesowire_span_nm(self) -> float:
+        """Decoder address lines: M mesowires at the litho pitch [nm]."""
+        return self.code_length * self.spec.rules.litho_pitch_nm
+
+    @property
+    def contact_span_nm(self) -> float:
+        """Contact-via rows: one per group at minimum contact width [nm]."""
+        return self.groups_per_half_cave * self.spec.rules.min_contact_width_nm
+
+    @property
+    def side_length_nm(self) -> float:
+        """Total edge length of the square crossbar [nm]."""
+        return (
+            self.core_span_nm
+            + self.cave_wall_span_nm
+            + self.mesowire_span_nm
+            + self.contact_span_nm
+        )
+
+    @property
+    def total_area_nm2(self) -> float:
+        """Total chip area of the crossbar macro [nm^2]."""
+        return self.side_length_nm**2
+
+    @property
+    def raw_bit_area_nm2(self) -> float:
+        """Area per *raw* crosspoint, before yield losses [nm^2]."""
+        return self.total_area_nm2 / self.spec.raw_bits
+
+    @property
+    def decoder_overhead_fraction(self) -> float:
+        """Fraction of the edge length spent outside the array core."""
+        return 1.0 - self.core_span_nm / self.side_length_nm

@@ -1,0 +1,93 @@
+"""Crossbar memory on top of a defect map (the paper's target application).
+
+"The function of the crossbar circuit was assumed to be a memory"
+(Sec. 6.1).  This module provides the minimal memory abstraction a
+downstream user needs: logical bit addresses are mapped onto the working
+crosspoints of a sampled crossbar instance (defect-aware address
+remapping), with reads and writes hitting only addressable wires.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.crossbar.defects import DefectMap
+
+
+class CapacityError(RuntimeError):
+    """Raised when an access falls outside the usable capacity."""
+
+
+class CrossbarMemory:
+    """Bit-addressable memory over the working crosspoints of a crossbar.
+
+    Logical address ``a`` maps to the ``a``-th working crosspoint in
+    row-major order — the simple deterministic remapping a decoder test
+    chip would use after wire-level test.
+
+    Parameters
+    ----------
+    defects:
+        Defect map of the sampled crossbar instance.
+    """
+
+    def __init__(self, defects: DefectMap) -> None:
+        self._defects = defects
+        rows = np.flatnonzero(defects.row_ok)
+        cols = np.flatnonzero(defects.col_ok)
+        self._rows = rows
+        self._cols = cols
+        self._data = np.zeros((defects.row_ok.size, defects.col_ok.size), dtype=bool)
+
+    @property
+    def capacity_bits(self) -> int:
+        """Usable bits (working crosspoints)."""
+        return self._rows.size * self._cols.size
+
+    @property
+    def raw_bits(self) -> int:
+        """Raw crosspoints, including unusable ones."""
+        return self._data.size
+
+    @property
+    def efficiency(self) -> float:
+        """Usable fraction of the raw crosspoints."""
+        return self.capacity_bits / self.raw_bits
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        if not 0 <= address < self.capacity_bits:
+            raise CapacityError(
+                f"address {address} outside usable capacity {self.capacity_bits}"
+            )
+        r, c = divmod(address, self._cols.size)
+        return int(self._rows[r]), int(self._cols[c])
+
+    def write(self, address: int, bit: bool) -> None:
+        """Write one bit at a logical address."""
+        r, c = self._locate(address)
+        self._data[r, c] = bool(bit)
+
+    def read(self, address: int) -> bool:
+        """Read one bit from a logical address."""
+        r, c = self._locate(address)
+        return bool(self._data[r, c])
+
+    def write_block(self, address: int, bits: np.ndarray) -> None:
+        """Write a contiguous block of bits starting at ``address``."""
+        bits = np.asarray(bits, dtype=bool)
+        if address < 0 or address + bits.size > self.capacity_bits:
+            raise CapacityError(
+                f"block [{address}, {address + bits.size}) exceeds capacity "
+                f"{self.capacity_bits}"
+            )
+        for offset, bit in enumerate(bits):
+            self.write(address + offset, bool(bit))
+
+    def read_block(self, address: int, count: int) -> np.ndarray:
+        """Read ``count`` bits starting at ``address``."""
+        if count < 0 or address < 0 or address + count > self.capacity_bits:
+            raise CapacityError(
+                f"block [{address}, {address + count}) exceeds capacity "
+                f"{self.capacity_bits}"
+            )
+        return np.array([self.read(address + i) for i in range(count)], dtype=bool)

@@ -1,0 +1,193 @@
+"""Crossbar read-out electrical model: sneak paths and sense margins.
+
+The paper's platform assumes the crossbar "functions as a memory"
+(Sec. 6.1) with resistive crosspoints (molecular switches or phase-change
+material).  Reading a resistive crossbar is limited by *sneak paths*:
+with unselected lines floating, parallel current paths through
+half-selected cells corrupt the sensed current, and the effect worsens
+with array size — one electrical reason real arrays are segmented into
+banks the size of the paper's caves.
+
+This module solves the full resistor network by nodal analysis (every
+row and column line is a node, every crosspoint a conductance between
+its row and column) under three classic biasing schemes:
+
+* ``"float"``   — unselected lines floating: minimal power, worst sneak;
+* ``"ground"``  — unselected lines grounded: sneak-free but power-hungry;
+* ``"half_v"``  — unselected lines at V/2: the usual compromise.
+
+The sense margin compares the read current of a selected ON cell in the
+worst-case background (all other cells ON) against a selected OFF cell
+in the same background.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+SCHEMES = ("float", "ground", "half_v")
+
+
+class ReadoutError(ValueError):
+    """Raised for invalid read-out configurations."""
+
+
+@dataclass(frozen=True)
+class ReadoutModel:
+    """Electrical read-out configuration of a resistive crossbar bank.
+
+    Parameters
+    ----------
+    r_on, r_off:
+        Crosspoint resistance in the ON / OFF state [ohm].
+    v_read:
+        Read voltage applied to the selected row [V].
+    scheme:
+        Biasing of unselected lines (see module docstring).
+    """
+
+    r_on: float = 1.0e5
+    r_off: float = 1.0e7
+    v_read: float = 0.5
+    scheme: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0 or self.r_off <= 0:
+            raise ReadoutError("resistances must be positive")
+        if self.r_off <= self.r_on:
+            raise ReadoutError("R_off must exceed R_on")
+        if self.v_read <= 0:
+            raise ReadoutError("read voltage must be positive")
+        if self.scheme not in SCHEMES:
+            raise ReadoutError(
+                f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+
+    # -- network solution -----------------------------------------------------
+
+    def conductances(self, states: np.ndarray) -> np.ndarray:
+        """Per-crosspoint conductance matrix from the ON/OFF state map."""
+        states = np.asarray(states, dtype=bool)
+        if states.ndim != 2:
+            raise ReadoutError(f"state map must be 2-D, got shape {states.shape}")
+        return np.where(states, 1.0 / self.r_on, 1.0 / self.r_off)
+
+    def read_current(self, states: np.ndarray, row: int, col: int) -> float:
+        """Sense current [A] when reading crosspoint (row, col).
+
+        Solves the nodal equations of the full bank.  The selected row
+        is driven at ``v_read`` and the selected column is held at
+        virtual ground by the sense amplifier; unselected lines follow
+        the biasing scheme.
+        """
+        g = self.conductances(states)
+        rows, cols = g.shape
+        if not 0 <= row < rows or not 0 <= col < cols:
+            raise ReadoutError(f"selected cell ({row}, {col}) outside {g.shape}")
+
+        n_nodes = rows + cols
+
+        def col_node(j: int) -> int:
+            return rows + j
+
+        # Laplacian of the resistor network
+        lap = np.zeros((n_nodes, n_nodes))
+        for i in range(rows):
+            for j in range(cols):
+                gij = g[i, j]
+                lap[i, i] += gij
+                lap[col_node(j), col_node(j)] += gij
+                lap[i, col_node(j)] -= gij
+                lap[col_node(j), i] -= gij
+
+        fixed: dict[int, float] = {row: self.v_read, col_node(col): 0.0}
+        if self.scheme == "ground":
+            for i in range(rows):
+                if i != row:
+                    fixed[i] = 0.0
+            for j in range(cols):
+                if j != col:
+                    fixed[col_node(j)] = 0.0
+        elif self.scheme == "half_v":
+            for i in range(rows):
+                if i != row:
+                    fixed[i] = self.v_read / 2.0
+            for j in range(cols):
+                if j != col:
+                    fixed[col_node(j)] = self.v_read / 2.0
+
+        voltages = np.empty(n_nodes)
+        free = [k for k in range(n_nodes) if k not in fixed]
+        for k, v in fixed.items():
+            voltages[k] = v
+        if free:
+            a = lap[np.ix_(free, free)]
+            rhs = -lap[np.ix_(free, list(fixed))] @ np.array(
+                [fixed[k] for k in fixed]
+            )
+            voltages[np.array(free)] = np.linalg.solve(a, rhs)
+
+        # current into the sense (virtual-ground) column node
+        sense = col_node(col)
+        current = 0.0
+        for i in range(rows):
+            current += g[i, col] * (voltages[i] - voltages[sense])
+        return float(current)
+
+    # -- margins -----------------------------------------------------------------
+
+    def worst_case_currents(self, rows: int, cols: int) -> tuple[float, float]:
+        """(I_on, I_off) of a selected cell in the all-ON worst background."""
+        if rows < 1 or cols < 1:
+            raise ReadoutError("bank must have at least one row and column")
+        background = np.ones((rows, cols), dtype=bool)
+        i_on = self.read_current(background, 0, 0)
+        off_map = background.copy()
+        off_map[0, 0] = False
+        i_off = self.read_current(off_map, 0, 0)
+        return i_on, i_off
+
+    def sense_margin(self, rows: int, cols: int) -> float:
+        """Relative worst-case margin ``(I_on - I_off) / I_on``.
+
+        1.0 is a perfect read; values near 0 mean the OFF state is
+        indistinguishable from ON because sneak currents dominate.
+        """
+        i_on, i_off = self.worst_case_currents(rows, cols)
+        if i_on <= 0:
+            raise ReadoutError("non-positive ON current; check the model")
+        return (i_on - i_off) / i_on
+
+
+def margin_vs_bank_size(
+    model: ReadoutModel,
+    sizes: tuple[int, ...] = (4, 8, 16, 32, 64),
+) -> list[tuple[int, float]]:
+    """Worst-case margin of square banks across sizes.
+
+    Under the floating scheme the margin collapses with size — the
+    quantitative argument for segmenting the crossbar into cave-sized
+    banks with their own contact groups.
+    """
+    return [(s, model.sense_margin(s, s)) for s in sizes]
+
+
+def max_bank_size(
+    model: ReadoutModel,
+    min_margin: float,
+    limit: int = 512,
+) -> int:
+    """Largest square bank keeping the worst-case margin above a floor."""
+    if not 0.0 < min_margin < 1.0:
+        raise ReadoutError(f"margin floor must be in (0, 1), got {min_margin}")
+    best = 0
+    size = 2
+    while size <= limit:
+        if model.sense_margin(size, size) >= min_margin:
+            best = size
+            size *= 2
+        else:
+            break
+    return best

@@ -1,0 +1,88 @@
+"""Analytic crossbar yield model (paper Sec. 6.1-6.2, Fig. 7).
+
+The cave yield ``Y`` is the expected fraction of a half cave's nanowires
+that remain uniquely addressable after
+
+* electrical losses — a wire whose VT drifted out of its window at any
+  region (Gaussian model with the variability matrix Sigma), and
+* geometric losses — wires at contact-group boundaries that are dead or
+  ambiguous (Sec. 6.1, after [6]).
+
+Both nanowire layers suffer the same losses, and a crosspoint works only
+if both of its wires are addressable, so the effective density is
+``D_EFF = D_RAW * Y^2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import CodeSpace
+from repro.codes.registry import make_code
+from repro.crossbar.spec import CrossbarSpec
+from repro.decoder.decoder import HalfCaveDecoder
+from repro.device.threshold import LevelScheme
+
+
+@dataclass(frozen=True)
+class YieldReport:
+    """Yield figures of one crossbar design point."""
+
+    code_name: str
+    code_length: int
+    code_space: int
+    groups: int
+    electrical_yield: float
+    geometric_yield: float
+    cave_yield: float
+    raw_bits: int
+    effective_bits: float
+
+    @property
+    def crosspoint_yield(self) -> float:
+        """Fraction of crosspoints with both wires addressable: Y^2."""
+        return self.cave_yield**2
+
+
+def decoder_for(spec: CrossbarSpec, space: CodeSpace) -> HalfCaveDecoder:
+    """Half-cave decoder configured per the platform spec."""
+    scheme = LevelScheme(space.n, window_margin=spec.window_margin)
+    return HalfCaveDecoder(
+        space=space,
+        nanowires=spec.nanowires_per_half_cave,
+        scheme=scheme,
+        sigma_t=spec.sigma_t,
+        rules=spec.rules,
+    )
+
+
+def crossbar_yield(spec: CrossbarSpec, space: CodeSpace) -> YieldReport:
+    """Evaluate the analytic yield of one code on the platform.
+
+    This is the quantity plotted in Fig. 7: "crossbar yield in terms of
+    percentage of addressable crosspoints" is reported there per layer,
+    i.e. the cave yield Y, while the effective density uses Y^2.
+    """
+    decoder = decoder_for(spec, space)
+    y = decoder.cave_yield
+    return YieldReport(
+        code_name=space.name,
+        code_length=space.total_length,
+        code_space=space.size,
+        groups=decoder.group_plan.group_count,
+        electrical_yield=decoder.electrical_yield,
+        geometric_yield=decoder.geometric_yield,
+        cave_yield=y,
+        raw_bits=spec.raw_bits,
+        effective_bits=spec.raw_bits * y * y,
+    )
+
+
+def family_yield_sweep(
+    spec: CrossbarSpec,
+    family: str,
+    lengths: tuple[int, ...],
+    n: int = 2,
+) -> list[YieldReport]:
+    """Yield reports of one code family across lengths (a Fig. 7 curve)."""
+    return [crossbar_yield(spec, make_code(family, n, m)) for m in lengths]

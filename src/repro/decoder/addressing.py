@@ -1,0 +1,95 @@
+"""Addressing semantics and addressability probabilities (Sec. 2.2, 6.1).
+
+Decoder operation: the mesowires apply a voltage pattern along the
+nanowire; a decoder transistor conducts when its threshold voltage is at
+or below the level selected by the applied voltage.  A nanowire conducts
+(is *addressed*) when **all** of its M regions conduct, so applying the
+voltage pattern of code word ``w`` turns on every nanowire whose pattern
+is component-wise dominated by ``w`` — antichain codes make that exactly
+one wire.
+
+Statistically, a nanowire remains addressable if every region's actual
+VT stays inside its level's addressability window; with the Gaussian
+region model the per-wire probability is the product of per-region
+window integrals (Sec. 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.device.threshold import LevelScheme
+from repro.device.variability import DEFAULT_SIGMA_T, region_pass_probability
+
+
+def conducting_wires(patterns: np.ndarray, address: np.ndarray) -> np.ndarray:
+    """Indices of nanowires that conduct under the applied ``address``.
+
+    A wire conducts iff its pattern is component-wise <= the address
+    pattern (every region's VT is at or below the applied level).
+    """
+    p = np.asarray(patterns)
+    a = np.asarray(address)
+    if p.ndim != 2 or a.ndim != 1 or p.shape[1] != a.shape[0]:
+        raise ValueError(
+            f"shape mismatch: patterns {p.shape} vs address {a.shape}"
+        )
+    return np.flatnonzero((p <= a[None, :]).all(axis=1))
+
+
+def addresses_unique_wire(patterns: np.ndarray) -> bool:
+    """True if every pattern, used as an address, selects exactly itself."""
+    p = np.asarray(patterns)
+    for i in range(p.shape[0]):
+        hits = conducting_wires(p, p[i])
+        selected = {int(h) for h in hits}
+        expected = {
+            j for j in range(p.shape[0]) if (p[j] == p[i]).all()
+        }
+        if selected != expected:
+            return False
+    return True
+
+
+def wire_addressability(
+    nu: np.ndarray,
+    scheme: LevelScheme,
+    sigma_t: float = DEFAULT_SIGMA_T,
+) -> np.ndarray:
+    """P(wire addressable) for every nanowire of the half cave.
+
+    The product over the wire's M regions of the Gaussian window
+    integral; ``nu`` is the dose-count matrix (Def. 5).
+    """
+    probs = region_pass_probability(nu, scheme.window_halfwidth, sigma_t)
+    return probs.prod(axis=1)
+
+
+def expected_addressable(
+    nu: np.ndarray,
+    scheme: LevelScheme,
+    sigma_t: float = DEFAULT_SIGMA_T,
+) -> float:
+    """Expected number of electrically addressable nanowires."""
+    return float(wire_addressability(nu, scheme, sigma_t).sum())
+
+
+def sampled_addressable_mask(
+    sampled_vt: np.ndarray,
+    patterns: np.ndarray,
+    scheme: LevelScheme,
+) -> np.ndarray:
+    """Monte-Carlo addressability: every region must read as intended.
+
+    ``sampled_vt`` is one realisation of the region threshold voltages;
+    a wire is addressable iff each region's VT classifies back to the
+    wire's intended digit.
+    """
+    sampled_vt = np.asarray(sampled_vt, dtype=float)
+    patterns = np.asarray(patterns)
+    if sampled_vt.shape != patterns.shape:
+        raise ValueError(
+            f"shape mismatch: vt {sampled_vt.shape} vs patterns {patterns.shape}"
+        )
+    read = scheme.classify(sampled_vt)
+    return (read == patterns).all(axis=1)

@@ -1,0 +1,153 @@
+"""Logical-to-physical address translation for a crossbar layer.
+
+Bridging the scales (Sec. 2.2) means every nanowire must be reachable
+from the CMOS side through lithographic selections only: pick a cave,
+pick a side of its symmetry axis, pick a contact group, then apply the
+group-local pattern word on the address mesowires.  This module is that
+translation, both directions, for one layer of the platform's crossbar:
+
+    wire index  <->  (cave, side, group, word)
+
+It composes the pieces built elsewhere — cave symmetry
+(:mod:`repro.decoder.cave`), contact-group partition
+(:mod:`repro.decoder.contact_groups`) and pattern assignment
+(:mod:`repro.decoder.pattern`) — into the decoder's user-facing
+contract: a *deterministic* address for every nanowire (the paper's
+stated novelty over stochastic decoders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import CodeSpace, Word
+from repro.crossbar.spec import CrossbarSpec
+from repro.decoder.contact_groups import plan_contact_groups
+from repro.decoder.pattern import address_of_nanowire
+
+
+class AddressError(ValueError):
+    """Raised for out-of-range or inconsistent wire addresses."""
+
+
+@dataclass(frozen=True)
+class WireAddress:
+    """Deterministic address of one nanowire within a layer.
+
+    Attributes
+    ----------
+    cave:
+        Cave index along the layer.
+    side:
+        ``"left"`` or ``"right"`` of the cave's symmetry axis.
+    group:
+        Contact-group index within the half cave.
+    word:
+        Pattern word applied on the address mesowires.
+    """
+
+    cave: int
+    side: str
+    group: int
+    word: Word
+
+    def __post_init__(self) -> None:
+        if self.cave < 0 or self.group < 0:
+            raise AddressError("cave and group indices must be >= 0")
+        if self.side not in ("left", "right"):
+            raise AddressError(f"side must be 'left' or 'right', got {self.side!r}")
+
+
+class AddressMap:
+    """Bijective wire-index <-> :class:`WireAddress` translation.
+
+    Wires are indexed geometrically across the layer: cave 0's left half
+    wall-to-axis, then its right half axis-to-wall, then cave 1, etc. —
+    matching the mirrored pattern layout of
+    :class:`repro.decoder.cave.FullCaveDecoder`.
+    """
+
+    def __init__(self, spec: CrossbarSpec, space: CodeSpace) -> None:
+        self._spec = spec
+        self._space = space
+        self._per_half = spec.nanowires_per_half_cave
+        plan = plan_contact_groups(self._per_half, space.size, spec.rules)
+        self._group_sizes = plan.group_sizes
+        starts = []
+        total = 0
+        for size in self._group_sizes:
+            starts.append(total)
+            total += size
+        self._group_starts = tuple(starts)
+
+    @property
+    def wires_per_cave(self) -> int:
+        """Wires per cave (two mirrored halves)."""
+        return 2 * self._per_half
+
+    @property
+    def wire_count(self) -> int:
+        """Addressable wires in the layer (full caves only)."""
+        return self._spec.caves_per_layer * self.wires_per_cave
+
+    # -- forward -------------------------------------------------------------
+
+    def _half_index(self, within_cave: int) -> tuple[str, int]:
+        """(side, index within the half cave) of a cave-local wire."""
+        if within_cave < self._per_half:
+            return "left", within_cave
+        # right half mirrors the left: axis-adjacent wire first
+        return "right", self.wires_per_cave - 1 - within_cave
+
+    def _group_of(self, half_index: int) -> int:
+        group = 0
+        for g, start in enumerate(self._group_starts):
+            if half_index >= start:
+                group = g
+        return group
+
+    def address_of(self, wire: int) -> WireAddress:
+        """Deterministic address of a layer-wide wire index."""
+        if not 0 <= wire < self.wire_count:
+            raise AddressError(
+                f"wire {wire} outside layer of {self.wire_count} wires"
+            )
+        cave, within = divmod(wire, self.wires_per_cave)
+        side, half_index = self._half_index(within)
+        return WireAddress(
+            cave=cave,
+            side=side,
+            group=self._group_of(half_index),
+            word=address_of_nanowire(self._space, half_index),
+        )
+
+    # -- reverse --------------------------------------------------------------
+
+    def wire_of(self, address: WireAddress) -> int:
+        """Layer-wide wire index of an address (inverse of address_of)."""
+        if address.cave >= self._spec.caves_per_layer:
+            raise AddressError(f"cave {address.cave} outside the layer")
+        if address.group >= len(self._group_sizes):
+            raise AddressError(f"group {address.group} outside the half cave")
+        start = self._group_starts[address.group]
+        size = self._group_sizes[address.group]
+        half_index = None
+        for i in range(start, start + size):
+            if address_of_nanowire(self._space, i) == address.word:
+                half_index = i
+                break
+        if half_index is None:
+            raise AddressError(
+                f"word {address.word} not present in group {address.group}"
+            )
+        if address.side == "left":
+            within = half_index
+        else:
+            within = self.wires_per_cave - 1 - half_index
+        return address.cave * self.wires_per_cave + within
+
+    def is_bijective(self) -> bool:
+        """Round-trip check over the whole layer (used by tests)."""
+        return all(
+            self.wire_of(self.address_of(w)) == w for w in range(self.wire_count)
+        )

@@ -1,0 +1,115 @@
+"""Contact-group geometry of a half cave (paper Secs. 2.2 and 6.1).
+
+Contact groups are the lithographically defined ohmic contacts that
+bridge sets of adjacent nanowires to the CMOS circuit.  The platform
+minimises the number of groups per half cave given the code-space size
+Omega (at most Omega nanowires per group — more would duplicate
+addresses) and the geometry (a contact must be at least ``1.5 x P_L``
+wide).
+
+Between two adjacent contacts lies a lithographic dead gap; nanowires
+under the gap contact nothing, and nanowires within the overlay
+tolerance of a gap edge "may be addressed by two adjacent contact
+groups" and are removed from the addressable set (Sec. 6.1, after [6]).
+This geometric loss is what makes short codes (small Omega, many groups)
+expensive, and its interplay with the variability growth of long codes
+produces the yield maximum of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fabrication.lithography import LithographyRules
+
+
+class GroupError(ValueError):
+    """Raised for impossible contact-group requests."""
+
+
+@dataclass(frozen=True)
+class ContactGroupPlan:
+    """Partition of a half cave's nanowires into contact groups.
+
+    Attributes
+    ----------
+    nanowires:
+        Total nanowires N in the half cave.
+    group_sizes:
+        Nanowires addressed by each group (sums to N).
+    rules:
+        The lithography rules used to derive widths and losses.
+    """
+
+    nanowires: int
+    group_sizes: tuple[int, ...]
+    rules: LithographyRules
+
+    @property
+    def group_count(self) -> int:
+        """Number of contact groups g in the half cave."""
+        return len(self.group_sizes)
+
+    @property
+    def internal_boundaries(self) -> int:
+        """Gaps between adjacent contacts (g - 1)."""
+        return self.group_count - 1
+
+    @property
+    def expected_boundary_loss(self) -> float:
+        """Expected nanowires lost to gaps and ambiguity (all boundaries)."""
+        return self.internal_boundaries * self.rules.boundary_loss_nanowires()
+
+    @property
+    def expected_surviving(self) -> float:
+        """Expected nanowires attached to exactly one contact."""
+        return max(0.0, self.nanowires - self.expected_boundary_loss)
+
+    @property
+    def survival_fraction(self) -> float:
+        """Fraction of nanowires surviving the geometric losses."""
+        return self.expected_surviving / self.nanowires
+
+    def contact_widths_nm(self) -> tuple[float, ...]:
+        """Printed width of each contact [nm]."""
+        return tuple(self.rules.contact_width_nm(s) for s in self.group_sizes)
+
+    def contact_region_length_nm(self) -> float:
+        """Length along the nanowires consumed by the contact vias [nm].
+
+        Each group needs its own mesowire/via row (contacts are staggered
+        along the nanowire so that each lands on a distinct mesowire),
+        at the minimum printable width per row.
+        """
+        return self.group_count * self.rules.min_contact_width_nm
+
+
+def plan_contact_groups(
+    nanowires: int,
+    code_space_size: int,
+    rules: LithographyRules | None = None,
+) -> ContactGroupPlan:
+    """Minimum-group partition of ``nanowires`` wires for a code of size Omega.
+
+    The number of groups is minimised (paper Sec. 6.1) subject to the
+    addressing capacity: a group can hold at most Omega nanowires.  Sizes
+    are balanced so no group is smaller than necessary.
+    """
+    if nanowires < 1:
+        raise GroupError(f"need at least one nanowire, got {nanowires}")
+    if code_space_size < 1:
+        raise GroupError(f"code space must be non-empty, got {code_space_size}")
+    rules = rules or LithographyRules()
+    groups = -(-nanowires // code_space_size)  # ceil
+    base, extra = divmod(nanowires, groups)
+    sizes = tuple(base + 1 if i < extra else base for i in range(groups))
+    return ContactGroupPlan(nanowires=nanowires, group_sizes=sizes, rules=rules)
+
+
+def geometric_survival_fraction(
+    nanowires: int,
+    code_space_size: int,
+    rules: LithographyRules | None = None,
+) -> float:
+    """Convenience wrapper: survival fraction of the minimum-group plan."""
+    return plan_contact_groups(nanowires, code_space_size, rules).survival_fraction

@@ -1,0 +1,156 @@
+"""Half-cave decoder facade tying codes, doping, variability and geometry.
+
+:class:`HalfCaveDecoder` is the per-half-cave unit of the simulation
+platform (Sec. 6.1): it derives the doping plan from the chosen code,
+computes the fabrication complexity and variability matrices, applies
+the electrical addressability model and the contact-group geometry, and
+reports the half cave's expected yield.  The crossbar-level models in
+:mod:`repro.crossbar` aggregate these figures into array yield and bit
+area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+import numpy as np
+
+from repro.codes.base import CodeSpace
+from repro.decoder.addressing import wire_addressability
+from repro.decoder.contact_groups import ContactGroupPlan, plan_contact_groups
+from repro.decoder.pattern import pattern_matrix
+from repro.decoder.variability import (
+    dose_count_matrix,
+    sigma_norm1,
+    variability_matrix,
+)
+from repro.device.threshold import LevelScheme
+from repro.device.variability import DEFAULT_SIGMA_T
+from repro.fabrication.complexity import plan_complexity
+from repro.fabrication.doping import DopingPlan, default_digit_map
+from repro.fabrication.lithography import LithographyRules
+
+
+@dataclass(frozen=True)
+class HalfCaveDecoder:
+    """Complete decoder model of one half cave.
+
+    Parameters
+    ----------
+    space:
+        Code space (family + length) addressing the nanowires.
+    nanowires:
+        Nanowires N per half cave.
+    scheme:
+        VT level placement; defaults to ``LevelScheme(space.n)`` — the
+        paper's 0..1 V supply range.
+    sigma_t:
+        Per-dose threshold-voltage standard deviation [V].
+    rules:
+        Lithography rules for the contact-group geometry.
+    """
+
+    space: CodeSpace
+    nanowires: int
+    scheme: LevelScheme | None = None
+    sigma_t: float = DEFAULT_SIGMA_T
+    rules: LithographyRules = field(default_factory=LithographyRules)
+
+    def __post_init__(self) -> None:
+        if self.nanowires < 1:
+            raise ValueError(f"need at least one nanowire, got {self.nanowires}")
+        if self.scheme is None:
+            object.__setattr__(self, "scheme", LevelScheme(self.space.n))
+        elif self.scheme.n != self.space.n:
+            raise ValueError(
+                f"level scheme n={self.scheme.n} does not match code n={self.space.n}"
+            )
+
+    # -- fabrication ---------------------------------------------------------
+
+    @cached_property
+    def patterns(self) -> np.ndarray:
+        """N x M pattern matrix."""
+        return pattern_matrix(self.space, self.nanowires)
+
+    @cached_property
+    def plan(self) -> DopingPlan:
+        """Doping plan (P, D, S matrices)."""
+        digit_map = default_digit_map(self.space.n, self.scheme)
+        return DopingPlan.from_pattern(self.patterns, digit_map)
+
+    @property
+    def fabrication_complexity(self) -> int:
+        """Phi — total extra lithography/doping steps (Def. 4)."""
+        return plan_complexity(self.plan)
+
+    # -- variability -----------------------------------------------------------
+
+    @cached_property
+    def nu(self) -> np.ndarray:
+        """Dose-count matrix (Def. 5)."""
+        return dose_count_matrix(self.plan.steps)
+
+    @cached_property
+    def sigma(self) -> np.ndarray:
+        """Variability matrix Sigma [V^2]."""
+        return variability_matrix(self.nu, self.sigma_t)
+
+    @property
+    def sigma_norm(self) -> float:
+        """``||Sigma||_1`` — the reliability cost of Prop. 3."""
+        return sigma_norm1(self.sigma)
+
+    @property
+    def average_variability(self) -> float:
+        """``||Sigma||_1 / (N * M)`` as reported in Sec. 6.2."""
+        return self.sigma_norm / self.sigma.size
+
+    # -- yield -------------------------------------------------------------------
+
+    @cached_property
+    def group_plan(self) -> ContactGroupPlan:
+        """Contact-group partition for this code's space size."""
+        return plan_contact_groups(self.nanowires, self.space.size, self.rules)
+
+    @cached_property
+    def wire_probabilities(self) -> np.ndarray:
+        """Electrical addressability probability of every nanowire."""
+        return wire_addressability(self.nu, self.scheme, self.sigma_t)
+
+    @property
+    def electrical_yield(self) -> float:
+        """Mean electrical addressability over the half cave."""
+        return float(self.wire_probabilities.mean())
+
+    @property
+    def geometric_yield(self) -> float:
+        """Fraction of nanowires surviving contact-group boundaries."""
+        return self.group_plan.survival_fraction
+
+    @property
+    def cave_yield(self) -> float:
+        """Half-cave yield Y: addressable fraction of the raw nanowires.
+
+        Electrical and geometric losses are independent (variability does
+        not depend on the wire's position relative to a contact edge), so
+        the expected addressable fraction is the product.
+        """
+        return self.electrical_yield * self.geometric_yield
+
+    def summary(self) -> dict:
+        """Headline figures of this half cave's decoder."""
+        return {
+            "code": self.space.name,
+            "nanowires": self.nanowires,
+            "regions": self.space.total_length,
+            "code_space": self.space.size,
+            "phi": self.fabrication_complexity,
+            "sigma_norm": self.sigma_norm,
+            "avg_variability": self.average_variability,
+            "groups": self.group_plan.group_count,
+            "electrical_yield": self.electrical_yield,
+            "geometric_yield": self.geometric_yield,
+            "cave_yield": self.cave_yield,
+        }

@@ -1,0 +1,82 @@
+"""Material and physical constants for the threshold-voltage model.
+
+Values follow Sze & Ng, *Physics of Semiconductor Devices* (the paper's
+reference [14]), at T = 300 K.  All quantities are in CGS-flavoured
+semiconductor units (cm, F/cm, C) as is conventional in device physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Default lattice temperature [K].
+ROOM_TEMPERATURE = 300.0
+
+#: Thermal voltage kT/q at 300 K [V].
+THERMAL_VOLTAGE_300K = BOLTZMANN * ROOM_TEMPERATURE / ELEMENTARY_CHARGE
+
+#: Vacuum permittivity [F/cm].
+EPS_0 = 8.8541878128e-14
+
+#: Relative permittivity of silicon.
+EPS_R_SILICON = 11.7
+
+#: Relative permittivity of SiO2.
+EPS_R_OXIDE = 3.9
+
+#: Absolute permittivity of silicon [F/cm].
+EPS_SILICON = EPS_R_SILICON * EPS_0
+
+#: Absolute permittivity of SiO2 [F/cm].
+EPS_OXIDE = EPS_R_OXIDE * EPS_0
+
+#: Intrinsic carrier concentration of silicon at 300 K [cm^-3].
+N_INTRINSIC_SILICON = 1.45e10
+
+
+@dataclass(frozen=True)
+class GateStack:
+    """Gate-stack geometry of the decoder transistors.
+
+    Parameters
+    ----------
+    oxide_thickness_cm:
+        Gate-oxide thickness [cm].
+    flatband_voltage:
+        Flat-band voltage V_FB [V]; bundles the work-function difference
+        and fixed oxide charge of the (unknown) real process into one
+        calibration constant.
+    temperature:
+        Lattice temperature [K].
+    """
+
+    oxide_thickness_cm: float
+    flatband_voltage: float
+    temperature: float = ROOM_TEMPERATURE
+
+    @property
+    def oxide_capacitance(self) -> float:
+        """Oxide capacitance per unit area C_ox [F/cm^2]."""
+        return EPS_OXIDE / self.oxide_thickness_cm
+
+    @property
+    def thermal_voltage(self) -> float:
+        """kT/q at the stack temperature [V]."""
+        return BOLTZMANN * self.temperature / ELEMENTARY_CHARGE
+
+
+#: Gate stack fitted so that the paper's worked Example 1 mapping
+#: (VT = 0.1 / 0.3 / 0.5 V  ->  N_A = 2 / 4 / 9 x 10^18 cm^-3) is
+#: approximated by the long-channel threshold equation: the fit matches
+#: the end points exactly and the middle level within ~16 %.
+#: See ``repro.device.physics.fit_gate_stack_to_paper_example``.
+PAPER_FIT_GATE_STACK = GateStack(
+    oxide_thickness_cm=1.159e-7,  # ~1.16 nm equivalent oxide
+    flatband_voltage=-1.1447,
+)

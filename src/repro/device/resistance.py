@@ -1,0 +1,106 @@
+"""Poly-Si nanowire resistance model.
+
+The MSPT nanowires are poly-crystalline silicon spacers "having a pitch
+of a few tens of nanometer, a height of ~300 nm and a length of tens of
+microns" (Sec. 3.1).  At those aspect ratios the wire's series
+resistance is far from negligible and loads the crossbar read-out (IR
+drop along the lines) — the distributed solver in
+:mod:`repro.crossbar.readout_distributed` consumes the per-cell segment
+resistance computed here.
+
+Resistivity follows the standard doping-dependent mobility fit
+(Caughey-Thomas form) for majority-carrier conduction, with a
+grain-boundary degradation factor for poly-Si relative to single-crystal
+silicon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.device.materials import ELEMENTARY_CHARGE
+
+
+class ResistanceError(ValueError):
+    """Raised for out-of-range geometry or doping."""
+
+
+#: Caughey-Thomas mobility fit for holes in silicon (p-type wires).
+MU_MIN_CM2 = 54.3
+MU_MAX_CM2 = 470.5
+N_REF_CM3 = 2.35e17
+ALPHA = 0.88
+
+#: Mobility degradation of poly-Si vs single-crystal (grain boundaries).
+POLY_MOBILITY_FACTOR = 0.35
+
+
+def carrier_mobility(doping: float) -> float:
+    """Hole mobility [cm^2/Vs] at ``doping`` [cm^-3] (Caughey-Thomas)."""
+    if doping <= 0:
+        raise ResistanceError(f"doping must be positive, got {doping}")
+    return MU_MIN_CM2 + (MU_MAX_CM2 - MU_MIN_CM2) / (
+        1.0 + (doping / N_REF_CM3) ** ALPHA
+    )
+
+
+def resistivity_ohm_cm(doping: float, poly: bool = True) -> float:
+    """Resistivity [ohm cm] of (poly-)silicon at ``doping`` [cm^-3]."""
+    mobility = carrier_mobility(doping)
+    if poly:
+        mobility *= POLY_MOBILITY_FACTOR
+    return 1.0 / (ELEMENTARY_CHARGE * doping * mobility)
+
+
+@dataclass(frozen=True)
+class NanowireGeometry:
+    """Cross-section and length of one MSPT nanowire.
+
+    Defaults follow Sec. 3.1: 6 nm wide spacers, ~300 nm tall, 10 um
+    long.
+    """
+
+    width_nm: float = 6.0
+    height_nm: float = 300.0
+    length_um: float = 10.0
+
+    def __post_init__(self) -> None:
+        if min(self.width_nm, self.height_nm, self.length_um) <= 0:
+            raise ResistanceError("geometry must be positive")
+
+    @property
+    def cross_section_cm2(self) -> float:
+        """Conduction cross-section [cm^2]."""
+        return (self.width_nm * 1e-7) * (self.height_nm * 1e-7)
+
+    @property
+    def length_cm(self) -> float:
+        """Wire length [cm]."""
+        return self.length_um * 1e-4
+
+
+def wire_resistance_ohm(
+    geometry: NanowireGeometry,
+    doping: float,
+    poly: bool = True,
+) -> float:
+    """Total series resistance of one nanowire [ohm]."""
+    rho = resistivity_ohm_cm(doping, poly)
+    return rho * geometry.length_cm / geometry.cross_section_cm2
+
+
+def segment_resistance_ohm(
+    geometry: NanowireGeometry,
+    doping: float,
+    crosspoints: int,
+    poly: bool = True,
+) -> float:
+    """Per-crosspoint segment resistance of a wire crossing ``crosspoints``.
+
+    The distributed read-out model chops each line into one segment per
+    crossing; a wire of total resistance R crossing k wires contributes
+    R / k per segment.
+    """
+    if crosspoints < 1:
+        raise ResistanceError(f"need at least one crosspoint, got {crosspoints}")
+    return wire_resistance_ohm(geometry, doping, poly) / crosspoints

@@ -1,0 +1,75 @@
+"""Fabrication complexity Phi of the decoder flow (paper Def. 4, Prop. 5).
+
+Every row ``S[i]`` of the step doping matrix describes one patterning
+procedure.  Each *distinct non-zero* dose value in the row requires its
+own lithography + implantation pass (one mask opening per dose), so the
+complexity of step ``i`` is ``phi_i = |{distinct non-zero values of
+S[i]}|`` and the technology complexity is ``Phi = sum_i phi_i``.
+
+Doses are physical doping levels (floats derived through the non-linear
+device map), so distinctness is decided with a relative tolerance instead
+of exact equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.base import CodeSpace
+from repro.device.physics import DigitDopingMap
+from repro.fabrication.doping import DopingPlan, default_digit_map
+
+#: Relative tolerance used to decide whether two doses are "the same".
+DOSE_RTOL = 1e-9
+
+
+def distinct_nonzero_count(row: np.ndarray, rtol: float = DOSE_RTOL) -> int:
+    """Number of distinct non-zero values in ``row`` up to ``rtol``.
+
+    Matches the paper's Example 3: row ``[0, -5, 0, 2]`` has 2 distinct
+    non-zero doses, ``[-2, 7, 5, -7]`` has 4.
+    """
+    values = np.asarray(row, dtype=float).ravel()
+    scale = np.max(np.abs(values)) if values.size else 0.0
+    if scale == 0.0:
+        return 0
+    nonzero = values[np.abs(values) > rtol * scale]
+    if nonzero.size == 0:
+        return 0
+    ordered = np.sort(nonzero)
+    gaps = np.diff(ordered)
+    return int(1 + np.sum(gaps > rtol * scale))
+
+
+def step_complexities(steps: np.ndarray, rtol: float = DOSE_RTOL) -> np.ndarray:
+    """Per-step complexity vector ``phi`` (one entry per nanowire)."""
+    s = np.asarray(steps, dtype=float)
+    if s.ndim != 2:
+        raise ValueError(f"step doping matrix must be 2-D, got shape {s.shape}")
+    return np.array([distinct_nonzero_count(row, rtol) for row in s])
+
+
+def fabrication_complexity(steps: np.ndarray, rtol: float = DOSE_RTOL) -> int:
+    """Total technology complexity ``Phi = sum_i phi_i`` (Def. 4)."""
+    return int(step_complexities(steps, rtol).sum())
+
+
+def plan_complexity(plan: DopingPlan, rtol: float = DOSE_RTOL) -> int:
+    """Phi of a complete doping plan."""
+    return fabrication_complexity(plan.steps, rtol)
+
+
+def code_complexity(
+    space: CodeSpace,
+    nanowires: int,
+    digit_map: DigitDopingMap | None = None,
+    rtol: float = DOSE_RTOL,
+) -> int:
+    """Phi of patterning ``nanowires`` wires with code ``space``.
+
+    This is the quantity plotted in Fig. 5 (for N = 10 and the shortest
+    covering code of each logic valence).
+    """
+    digit_map = digit_map or default_digit_map(space.n)
+    plan = DopingPlan.from_code(space, nanowires, digit_map)
+    return plan_complexity(plan, rtol)

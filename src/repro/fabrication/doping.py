@@ -1,0 +1,146 @@
+"""Doping matrices of the MSPT decoder (paper Sec. 4, Defs. 1-3, Props. 1-2).
+
+Three matrices describe the decoder of one half cave with ``N`` nanowires
+and ``M`` doping regions each:
+
+* the **pattern matrix** ``P`` (N x M, digits in {0..n-1}) — the desired
+  threshold-voltage pattern;
+* the **final doping matrix** ``D = h(P)`` — the physical doping level of
+  every region after the whole array is defined (Prop. 1);
+* the **step doping matrix** ``S`` — the dose applied at each of the N
+  lithography/doping procedures.  MSPT doping *accumulates*: the dose of
+  step ``k`` lands on every already-defined nanowire ``i <= k``, hence
+  ``D[i] = sum_{k >= i} S[k]`` (Prop. 2) and conversely
+  ``S[i] = D[i] - D[i+1]`` with ``S[N-1] = D[N-1]``.
+
+Negative entries of ``S`` are counter-doping with the opposite dopant
+species (paper Example 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.codes.base import CodeSpace
+from repro.device.physics import DigitDopingMap
+from repro.device.threshold import LevelScheme
+
+
+class DopingError(ValueError):
+    """Raised for malformed pattern or doping matrices."""
+
+
+def validate_pattern_matrix(pattern: np.ndarray, n: int) -> np.ndarray:
+    """Return ``pattern`` as an int array after digit-range validation."""
+    p = np.asarray(pattern)
+    if p.ndim != 2:
+        raise DopingError(f"pattern matrix must be 2-D, got shape {p.shape}")
+    if not np.issubdtype(p.dtype, np.integer):
+        if not np.all(p == np.round(p)):
+            raise DopingError("pattern matrix must contain integers")
+        p = p.astype(int)
+    if p.size and (p.min() < 0 or p.max() >= n):
+        raise DopingError(
+            f"pattern digits outside [0, {n - 1}]: min={p.min()}, max={p.max()}"
+        )
+    return p
+
+
+def final_doping_matrix(pattern: np.ndarray, digit_map: DigitDopingMap) -> np.ndarray:
+    """``D = h(P)``: elementwise bijection of Prop. 1 [cm^-3]."""
+    p = validate_pattern_matrix(pattern, digit_map.n)
+    return digit_map.apply(p)
+
+
+def step_doping_matrix(final: np.ndarray) -> np.ndarray:
+    """Solve ``D[i] = sum_{k>=i} S[k]`` for the per-step doses ``S``.
+
+    Row ``N-1`` (the last-defined nanowire) is doped directly to its final
+    level; every earlier row is the difference to the row below it.
+    """
+    d = np.asarray(final, dtype=float)
+    if d.ndim != 2:
+        raise DopingError(f"final doping matrix must be 2-D, got shape {d.shape}")
+    s = np.empty_like(d)
+    s[-1] = d[-1]
+    s[:-1] = d[:-1] - d[1:]
+    return s
+
+
+def accumulate_doses(steps: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`step_doping_matrix`: suffix-sum the doses (Prop. 2).
+
+    ``D[i, j] = sum_{k >= i} S[k, j]`` — what physically happens when the
+    dose of every step lands on all previously defined nanowires.
+    """
+    s = np.asarray(steps, dtype=float)
+    if s.ndim != 2:
+        raise DopingError(f"step doping matrix must be 2-D, got shape {s.shape}")
+    return np.cumsum(s[::-1], axis=0)[::-1]
+
+
+def default_digit_map(n: int, scheme: LevelScheme | None = None) -> DigitDopingMap:
+    """Digit -> doping map for the platform's VT level placement."""
+    scheme = scheme or LevelScheme(n)
+    if scheme.n != n:
+        raise DopingError(f"level scheme has n={scheme.n}, expected {n}")
+    return DigitDopingMap(vt_levels=scheme.levels)
+
+
+@dataclass(frozen=True)
+class DopingPlan:
+    """The complete doping description of one half cave's decoder.
+
+    Bundles the pattern matrix with the derived final and step doping
+    matrices; construction from a code space applies implicit reflection
+    and cycles through the code when the half cave holds more nanowires
+    than the code space (Sec. 6.1).
+    """
+
+    pattern: np.ndarray
+    final: np.ndarray
+    steps: np.ndarray
+    digit_map: DigitDopingMap = field(repr=False)
+
+    @classmethod
+    def from_pattern(
+        cls, pattern: np.ndarray, digit_map: DigitDopingMap
+    ) -> "DopingPlan":
+        """Build the plan for an explicit pattern matrix."""
+        p = validate_pattern_matrix(pattern, digit_map.n)
+        d = final_doping_matrix(p, digit_map)
+        s = step_doping_matrix(d)
+        return cls(pattern=p, final=d, steps=s, digit_map=digit_map)
+
+    @classmethod
+    def from_code(
+        cls,
+        space: CodeSpace,
+        nanowires: int,
+        digit_map: DigitDopingMap | None = None,
+    ) -> "DopingPlan":
+        """Build the plan for ``nanowires`` wires patterned with ``space``."""
+        rows = space.pattern_rows(nanowires)
+        digit_map = digit_map or default_digit_map(space.n)
+        return cls.from_pattern(np.array(rows, dtype=int), digit_map)
+
+    @property
+    def nanowires(self) -> int:
+        """Number of nanowires N in the half cave."""
+        return self.pattern.shape[0]
+
+    @property
+    def regions(self) -> int:
+        """Number of doping regions M along each nanowire."""
+        return self.pattern.shape[1]
+
+    def verify(self, rtol: float = 1e-9) -> bool:
+        """Check Prop. 2: suffix-summing the steps reproduces ``final``."""
+        return bool(np.allclose(accumulate_doses(self.steps), self.final, rtol=rtol))
+
+    def nominal_vt(self) -> np.ndarray:
+        """Nominal threshold voltage of every region [V]."""
+        levels = np.asarray(self.digit_map.vt_levels)
+        return levels[self.pattern]

@@ -1,0 +1,173 @@
+"""Ion-implantation planning for the decoder doping steps (Fig. 4).
+
+The decoder-aware flow needs every dose of the step matrix ``S``
+delivered by an implanter.  This module converts the physical targets
+into machine settings:
+
+* **species** — the sign of the dose selects the dopant type: positive
+  doses are p-type (boron) and negative doses n-type (phosphorus),
+  matching the paper's "p-type (n-type) doping to increase (decrease)
+  the total doping level";
+* **areal dose** — a concentration change ``delta_N`` [cm^-3] over a
+  region of depth ``d`` needs ``Q = |delta_N| * d`` [cm^-2] (uniform
+  activation assumed; an efficiency factor models partial activation);
+* **energy** — the beam energy must place the projected range at the
+  centre of the doped depth.  Projected ranges follow power-law fits to
+  LSS/SRIM tabulations for B and P in silicon, accurate to ~15% in the
+  1-200 keV window — ample for a planning model.
+
+The paper notes nanowires "should be doped carefully with light doses";
+the planner exposes a per-pass dose ceiling and splits hot steps into
+multiple passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fabrication.doping import DopingPlan
+from repro.fabrication.process_flow import DopingEvent, ProcessFlow
+
+
+class ImplantError(ValueError):
+    """Raised for unplannable implant requests."""
+
+
+#: Power-law projected-range fits R_p = a * E^b (R_p in nm, E in keV),
+#: matched to tabulated LSS ranges for silicon targets.
+_RANGE_FITS = {
+    "boron": (3.338, 0.862),
+    "phosphorus": (1.259, 0.907),
+}
+
+#: Energy window within which the fits are trusted [keV].
+ENERGY_MIN_KEV = 1.0
+ENERGY_MAX_KEV = 200.0
+
+
+def projected_range_nm(species: str, energy_kev: float) -> float:
+    """Projected range R_p [nm] of an implant at ``energy_kev``."""
+    if species not in _RANGE_FITS:
+        raise ImplantError(f"unknown species {species!r}")
+    if not ENERGY_MIN_KEV <= energy_kev <= ENERGY_MAX_KEV:
+        raise ImplantError(
+            f"energy {energy_kev} keV outside the fitted window "
+            f"[{ENERGY_MIN_KEV}, {ENERGY_MAX_KEV}]"
+        )
+    a, b = _RANGE_FITS[species]
+    return a * energy_kev**b
+
+
+def energy_for_range(species: str, target_range_nm: float) -> float:
+    """Beam energy [keV] placing R_p at ``target_range_nm`` (fit inverse)."""
+    if species not in _RANGE_FITS:
+        raise ImplantError(f"unknown species {species!r}")
+    if target_range_nm <= 0:
+        raise ImplantError("target range must be positive")
+    a, b = _RANGE_FITS[species]
+    energy = (target_range_nm / a) ** (1.0 / b)
+    if not ENERGY_MIN_KEV <= energy <= ENERGY_MAX_KEV:
+        raise ImplantError(
+            f"range {target_range_nm} nm needs {energy:.1f} keV, outside "
+            f"the fitted window"
+        )
+    return energy
+
+
+@dataclass(frozen=True)
+class ImplantSetting:
+    """Machine settings delivering one doping event.
+
+    Attributes
+    ----------
+    species:
+        ``"boron"`` (p-type, raises the level) or ``"phosphorus"``.
+    energy_kev:
+        Beam energy placing R_p mid-depth.
+    dose_per_pass_cm2:
+        Areal dose of each pass.
+    passes:
+        Number of passes (light-dose splitting).
+    regions:
+        Doping-region indices exposed by the mask.
+    """
+
+    species: str
+    energy_kev: float
+    dose_per_pass_cm2: float
+    passes: int
+    regions: tuple[int, ...]
+
+    @property
+    def total_dose_cm2(self) -> float:
+        """Delivered areal dose over all passes."""
+        return self.dose_per_pass_cm2 * self.passes
+
+
+@dataclass(frozen=True)
+class ImplantPlanner:
+    """Converts doping events into implant settings.
+
+    Parameters
+    ----------
+    doped_depth_nm:
+        Depth of the doped channel region along the spacer [nm].
+    activation:
+        Fraction of implanted atoms electrically active after anneal.
+    max_dose_per_pass_cm2:
+        Ceiling per pass; hotter steps are split ("light doses").
+    """
+
+    doped_depth_nm: float = 30.0
+    activation: float = 0.8
+    max_dose_per_pass_cm2: float = 5.0e13
+
+    def __post_init__(self) -> None:
+        if self.doped_depth_nm <= 0:
+            raise ImplantError("doped depth must be positive")
+        if not 0.0 < self.activation <= 1.0:
+            raise ImplantError("activation must be in (0, 1]")
+        if self.max_dose_per_pass_cm2 <= 0:
+            raise ImplantError("per-pass dose ceiling must be positive")
+
+    def species_for(self, dose_cm3: float) -> str:
+        """Dopant species delivering a signed concentration change."""
+        if dose_cm3 == 0:
+            raise ImplantError("zero dose needs no implant")
+        return "boron" if dose_cm3 > 0 else "phosphorus"
+
+    def setting_for(self, event: DopingEvent) -> ImplantSetting:
+        """Machine setting for one lithography/doping event."""
+        species = self.species_for(event.dose)
+        depth_cm = self.doped_depth_nm * 1e-7
+        areal = abs(event.dose) * depth_cm / self.activation
+        passes = max(1, int(np.ceil(areal / self.max_dose_per_pass_cm2)))
+        energy = energy_for_range(species, self.doped_depth_nm / 2.0)
+        return ImplantSetting(
+            species=species,
+            energy_kev=energy,
+            dose_per_pass_cm2=areal / passes,
+            passes=passes,
+            regions=event.regions,
+        )
+
+    def plan(self, plan: DopingPlan) -> list[ImplantSetting]:
+        """Implant settings for every doping event of a plan, in order."""
+        flow = ProcessFlow.from_plan(plan)
+        return [
+            self.setting_for(event)
+            for event in flow.events
+            if isinstance(event, DopingEvent)
+        ]
+
+    def delivered_concentration(self, setting: ImplantSetting) -> float:
+        """Concentration change [cm^-3] a setting actually delivers.
+
+        Inverse of :meth:`setting_for`'s dose computation; used to check
+        the plan closes the loop.
+        """
+        depth_cm = self.doped_depth_nm * 1e-7
+        magnitude = setting.total_dose_cm2 * self.activation / depth_cm
+        return magnitude if setting.species == "boron" else -magnitude

@@ -1,0 +1,109 @@
+"""Unit tests for repro.analysis.figures — the figure data generators."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fig5_fabrication_complexity,
+    fig6_variability_maps,
+    fig7_crossbar_yield,
+    fig8_bit_area,
+)
+
+
+class TestFig5:
+    def test_structure(self):
+        data = fig5_fabrication_complexity()
+        assert set(data.keys()) == {"Binary", "Ternary", "Quaternary"}
+        for row in data.values():
+            assert set(row.keys()) == {"TC", "GC"}
+
+    def test_binary_complexity_is_2n(self):
+        """Paper: 'Phi is constant for all binary codes and equal to the
+        double of the number of nanowires in a half cave'."""
+        data = fig5_fabrication_complexity(nanowires=10)
+        assert data["Binary"]["TC"] == 20
+        assert data["Binary"]["GC"] == 20
+
+    def test_higher_valence_tree_code_costs_more(self):
+        """Paper: '20% more steps for the tree code' at higher valence."""
+        data = fig5_fabrication_complexity()
+        assert data["Ternary"]["TC"] > data["Binary"]["TC"]
+        assert data["Quaternary"]["TC"] > data["Binary"]["TC"]
+
+    def test_gray_cancels_the_overhead(self):
+        """Paper: GC performs ~17% better, cancelling the overhead."""
+        data = fig5_fabrication_complexity()
+        for logic in ("Ternary", "Quaternary"):
+            assert data[logic]["GC"] < data[logic]["TC"]
+            # back to (roughly) the binary level
+            assert data[logic]["GC"] <= data["Binary"]["GC"] + 2
+
+
+class TestFig6:
+    def test_panel_shapes(self):
+        data = fig6_variability_maps()
+        assert set(data.keys()) == {
+            (fam, length) for fam in ("TC", "GC", "BGC") for length in (8, 10)
+        }
+        assert data[("TC", 8)].shape == (20, 8)
+        assert data[("BGC", 10)].shape == (20, 10)
+
+    def test_values_are_sqrt_nu(self):
+        """Plotted values lie in [1, sqrt(N)] like the paper's 1..4.5."""
+        for panel in fig6_variability_maps().values():
+            assert panel.min() >= 1.0
+            assert panel.max() <= np.sqrt(20) + 1e-9
+
+    def test_gray_lowers_every_region(self):
+        """Fig. 6.a vs 6.c: GC reduces the level at every digit."""
+        data = fig6_variability_maps()
+        assert (data[("GC", 8)] <= data[("TC", 8)]).all()
+
+    def test_bgc_flattens_the_map(self):
+        data = fig6_variability_maps()
+        assert data[("BGC", 8)].std() < data[("TC", 8)].std()
+
+    def test_longer_codes_lower_average(self):
+        """Paper: 'longer codes have less digit transitions and help
+        reduce the average variability'."""
+        data = fig6_variability_maps()
+        for fam in ("TC", "GC", "BGC"):
+            assert data[(fam, 10)].mean() < data[(fam, 8)].mean()
+
+
+class TestFig7:
+    def test_structure(self, spec):
+        data = fig7_crossbar_yield(spec)
+        assert [l for l, _ in data["TC"]] == [6, 8, 10]
+        assert [l for l, _ in data["HC"]] == [4, 6, 8]
+
+    def test_yields_in_unit_interval(self, spec):
+        for points in fig7_crossbar_yield(spec).values():
+            for _, y in points:
+                assert 0 <= y <= 1
+
+    def test_optimised_codes_win(self, spec):
+        data = fig7_crossbar_yield(spec)
+        for base, opt in (("TC", "BGC"), ("HC", "AHC")):
+            for (lb, yb), (lo, yo) in zip(data[base], data[opt]):
+                assert lb == lo
+                assert yo > yb
+
+
+class TestFig8:
+    def test_structure(self, spec):
+        data = fig8_bit_area(spec)
+        assert set(data.keys()) == {"TC", "GC", "BGC", "HC", "AHC"}
+
+    def test_areas_positive(self, spec):
+        for points in fig8_bit_area(spec).values():
+            for _, area in points:
+                assert area > 0
+
+    def test_minimum_is_an_optimised_code(self, spec):
+        data = fig8_bit_area(spec)
+        best_family = min(
+            data, key=lambda fam: min(area for _, area in data[fam])
+        )
+        assert best_family in ("BGC", "AHC")

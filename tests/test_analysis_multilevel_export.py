@@ -1,0 +1,119 @@
+"""Unit tests for repro.analysis.multilevel and repro.analysis.export."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    matrix_to_csv,
+    records_to_csv,
+    series_to_csv,
+    to_json,
+)
+from repro.analysis.multilevel import (
+    admissible_length,
+    multilevel_comparison,
+    orderings_hold,
+)
+
+
+class TestAdmissibleLength:
+    def test_tree_families_even(self):
+        assert admissible_length("TC", 3, 6) == 6
+        assert admissible_length("GC", 3, 7) == 8
+
+    def test_hot_families_divisible(self):
+        assert admissible_length("HC", 3, 7) == 9
+        assert admissible_length("HC", 2, 6) == 6
+
+    def test_minimum_of_two(self):
+        assert admissible_length("TC", 2, 1) >= 2
+
+
+class TestMultilevelComparison:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return multilevel_comparison(valences=(2, 3), digits=6)
+
+    def test_covers_requested_grid(self, points):
+        keys = {(p.n, p.family) for p in points}
+        assert keys == {
+            (n, fam) for n in (2, 3) for fam in ("TC", "GC", "BGC")
+        }
+
+    def test_paper_remark_holds(self, points):
+        """'Similar results were obtained ... with a higher logic level'."""
+        assert orderings_hold(points)
+
+    def test_higher_valence_larger_space_per_digit(self, points):
+        by = {(p.n, p.family): p for p in points}
+        assert by[(3, "TC")].code_space > by[(2, "TC")].code_space
+
+    def test_orderings_hold_detects_violation(self, points):
+        import dataclasses
+
+        broken = [
+            dataclasses.replace(p, average_variability=0.0)
+            if p.family == "TC"
+            else p
+            for p in points
+        ]
+        assert not orderings_hold(broken)
+
+
+class TestExport:
+    def test_records_to_csv_roundtrip(self, tmp_path):
+        records = [{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}]
+        path = records_to_csv(records, tmp_path / "r.csv")
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["a"] == "1" and rows[1]["b"] == "4.5"
+
+    def test_records_to_csv_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError):
+            records_to_csv([], tmp_path / "r.csv")
+
+    def test_records_to_csv_rejects_ragged(self, tmp_path):
+        with pytest.raises(ValueError):
+            records_to_csv([{"a": 1}, {"b": 2}], tmp_path / "r.csv")
+
+    def test_series_to_csv(self, tmp_path):
+        series = {"TC": [(6, 0.4), (8, 0.6)], "BGC": [(6, 0.5)]}
+        path = series_to_csv(series, tmp_path / "s.csv", value_name="yield")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["family", "length", "yield"]
+        assert len(rows) == 4
+
+    def test_matrix_to_csv(self, tmp_path):
+        m = np.arange(6).reshape(2, 3)
+        path = matrix_to_csv(m, tmp_path / "m.csv")
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["digit_0", "digit_1", "digit_2"]
+        assert rows[2] == ["3", "4", "5"]
+
+    def test_matrix_to_csv_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            matrix_to_csv(np.arange(3), tmp_path / "m.csv")
+
+    def test_to_json_handles_numpy(self, tmp_path):
+        data = {"arr": np.array([1, 2]), "f": np.float64(2.5), "i": np.int64(3),
+                "nested": [{"x": np.array([0.5])}]}
+        path = to_json(data, tmp_path / "d.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["arr"] == [1, 2]
+        assert loaded["f"] == 2.5
+        assert loaded["i"] == 3
+        assert loaded["nested"][0]["x"] == [0.5]
+
+    def test_figure_data_exports(self, tmp_path, spec):
+        """The real Fig. 7/8 payloads serialise cleanly."""
+        from repro.analysis.figures import fig7_crossbar_yield, fig8_bit_area
+
+        series_to_csv(fig7_crossbar_yield(spec), tmp_path / "f7.csv")
+        to_json(fig8_bit_area(spec), tmp_path / "f8.json")
+        assert (tmp_path / "f7.csv").exists()
+        assert (tmp_path / "f8.json").exists()

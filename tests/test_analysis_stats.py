@@ -1,0 +1,95 @@
+"""Unit tests for repro.analysis.stats — the headline claims."""
+
+import pytest
+
+from repro.analysis.stats import (
+    ahc_vs_hc_area,
+    ahc_vs_hc_yield,
+    ahc_yield_gain,
+    bgc_variability_reduction,
+    bgc_vs_tc_area,
+    bgc_vs_tc_yield,
+    gray_complexity_reduction,
+    headline_summary,
+    min_bit_area,
+    tc_area_saving,
+    tc_yield_gain,
+)
+
+
+class TestDirectionalClaims:
+    """Every claim must at least have the paper's sign and rough size."""
+
+    def test_gray_complexity_reduction(self):
+        """Paper: 17%."""
+        r = gray_complexity_reduction()
+        assert 0.05 < r < 0.35
+
+    def test_bgc_variability_reduction(self):
+        """Paper: 18% — our platform yields a stronger effect."""
+        r = bgc_variability_reduction()
+        assert 0.10 < r < 0.60
+
+    def test_tc_yield_gain(self, spec):
+        """Paper: ~40 points."""
+        g = tc_yield_gain(spec)
+        assert 0.15 < g < 0.60
+
+    def test_ahc_yield_gain(self, spec):
+        """Paper: ~40 points."""
+        g = ahc_yield_gain(spec)
+        assert 0.25 < g < 0.80
+
+    def test_bgc_vs_tc_yield(self, spec):
+        """Paper: +42%."""
+        g = bgc_vs_tc_yield(spec)
+        assert 0.10 < g < 0.70
+
+    def test_ahc_vs_hc_yield(self, spec):
+        """Paper: +19%."""
+        g = ahc_vs_hc_yield(spec)
+        assert 0.05 < g < 0.40
+
+    def test_tc_area_saving(self, spec):
+        """Paper: 51%."""
+        s = tc_area_saving(spec)
+        assert 0.30 < s < 0.80
+
+    def test_bgc_vs_tc_area(self, spec):
+        """Paper: 30% denser at M = 8."""
+        s = bgc_vs_tc_area(spec)
+        assert 0.15 < s < 0.60
+
+    def test_ahc_vs_hc_area(self, spec):
+        """Paper: 13% at M = 6."""
+        s = ahc_vs_hc_area(spec)
+        assert 0.05 < s < 0.35
+
+    def test_min_bit_area_near_170(self, spec):
+        fam, length, area = min_bit_area(spec)
+        assert fam in ("BGC", "AHC")
+        assert area == pytest.approx(170, rel=0.15)
+
+
+class TestHeadlineSummary:
+    def test_all_claims_present(self, spec):
+        claims = headline_summary(spec)
+        keys = {c.key for c in claims}
+        assert keys == {
+            "gray_complexity",
+            "bgc_variability",
+            "tc_yield_gain",
+            "ahc_yield_gain",
+            "bgc_vs_tc_yield",
+            "ahc_vs_hc_yield",
+            "tc_area_saving",
+            "bgc_vs_tc_area",
+            "ahc_vs_hc_area",
+            "min_bit_area",
+        }
+
+    def test_claims_carry_paper_values(self, spec):
+        for claim in headline_summary(spec):
+            assert claim.paper
+            assert claim.measured
+            assert claim.description

@@ -1,0 +1,115 @@
+"""Unit tests for the repro CLI (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "XYZ", "-M", "8"])
+
+
+class TestSubcommands:
+    def test_info(self, capsys):
+        code, out = run_cli(capsys, "info")
+        assert code == 0
+        assert "raw density" in out and "32 nm" in out
+
+    def test_fig5(self, capsys):
+        code, out = run_cli(capsys, "fig5")
+        assert code == 0
+        assert "Ternary" in out
+
+    def test_fig6(self, capsys):
+        code, out = run_cli(capsys, "fig6")
+        assert code == 0
+        assert "BGC (L=10)" in out
+
+    def test_fig7(self, capsys):
+        code, out = run_cli(capsys, "fig7")
+        assert code == 0
+        assert "yield" in out and "AHC" in out
+
+    def test_fig8_with_exports(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig8.csv"
+        json_path = tmp_path / "fig8.json"
+        code, out = run_cli(
+            capsys, "fig8", "--csv", str(csv_path), "--json", str(json_path)
+        )
+        assert code == 0
+        assert csv_path.exists()
+        data = json.loads(json_path.read_text())
+        assert "BGC" in data
+
+    def test_evaluate(self, capsys):
+        code, out = run_cli(capsys, "evaluate", "BGC", "-M", "10")
+        assert code == 0
+        assert "cave_yield" in out
+
+    def test_evaluate_ternary(self, capsys):
+        code, out = run_cli(capsys, "evaluate", "GC", "-M", "6", "-n", "3")
+        assert code == 0
+        assert "GC(n=3" in out
+
+    def test_optimize(self, capsys):
+        code, out = run_cli(capsys, "optimize", "--objective", "bit_area")
+        assert code == 0
+        assert "best: BGC/10" in out or "best: AHC" in out
+
+    def test_simulate(self, capsys):
+        code, out = run_cli(
+            capsys, "simulate", "BGC", "-M", "8", "--samples", "20", "--seed", "1"
+        )
+        assert code == 0
+        assert "mean cave yield" in out
+
+    def test_headline(self, capsys):
+        code, out = run_cli(capsys, "headline")
+        assert code == 0
+        assert "paper" in out and "measured" in out
+
+    def test_theorems(self, capsys):
+        code, out = run_cli(capsys, "theorems")
+        assert code == 0
+        assert out.count("PASS") == 7
+
+    def test_baselines(self, capsys):
+        code, out = run_cli(capsys, "baselines")
+        assert code == 0
+        assert "random codes [6]" in out
+
+    def test_margins(self, capsys):
+        code, out = run_cli(capsys, "margins", "-M", "8")
+        assert code == 0
+        assert "select" in out and "BGC" in out
+
+    def test_readout(self, capsys):
+        code, out = run_cli(capsys, "readout", "--scheme", "float")
+        assert code == 0
+        assert "bank size" in out
+
+    def test_calibrate(self, capsys):
+        code, out = run_cli(capsys, "calibrate")
+        assert code == 0
+        assert "shipped defaults error" in out
+
+    def test_platform_knobs_change_results(self, capsys):
+        _, loose = run_cli(capsys, "evaluate", "TC", "-M", "6")
+        _, tight = run_cli(
+            capsys, "--sigma-t", "0.12", "evaluate", "TC", "-M", "6"
+        )
+        assert loose != tight

@@ -1,0 +1,164 @@
+"""Unit tests for repro.codes.base."""
+
+import pytest
+
+from repro.codes.base import (
+    CodeError,
+    CodeSpace,
+    complement_word,
+    covers,
+    hamming_distance,
+    is_antichain,
+    reflect_word,
+    validate_word,
+)
+
+
+class TestValidateWord:
+    def test_accepts_valid_digits(self):
+        assert validate_word([0, 1, 2], 3) == (0, 1, 2)
+
+    def test_coerces_to_tuple_of_ints(self):
+        out = validate_word((1.0, 0.0), 2)
+        assert out == (1, 0)
+        assert all(isinstance(d, int) for d in out)
+
+    def test_rejects_digit_too_large(self):
+        with pytest.raises(CodeError):
+            validate_word([0, 2], 2)
+
+    def test_rejects_negative_digit(self):
+        with pytest.raises(CodeError):
+            validate_word([-1, 0], 2)
+
+    def test_rejects_valence_below_two(self):
+        with pytest.raises(CodeError):
+            validate_word([0], 1)
+
+
+class TestComplementAndReflection:
+    def test_complement_binary(self):
+        assert complement_word((0, 1, 1), 2) == (1, 0, 0)
+
+    def test_complement_ternary_matches_paper(self):
+        # paper Sec. 2.3: complement of 0010 in base 3 is 2212
+        assert complement_word((0, 0, 1, 0), 3) == (2, 2, 1, 2)
+
+    def test_complement_is_involution(self):
+        w = (0, 2, 1, 3)
+        assert complement_word(complement_word(w, 4), 4) == w
+
+    def test_reflect_appends_complement(self):
+        # paper Sec. 2.3: 0010 reflects to 00102212
+        assert reflect_word((0, 0, 1, 0), 3) == (0, 0, 1, 0, 2, 2, 1, 2)
+
+    def test_reflect_extremes(self):
+        assert reflect_word((0, 0, 0, 0), 3) == (0, 0, 0, 0, 2, 2, 2, 2)
+        assert reflect_word((0, 0, 0, 1), 3) == (0, 0, 0, 1, 2, 2, 2, 1)
+
+
+class TestHammingAndCovers:
+    def test_hamming_distance(self):
+        assert hamming_distance((0, 1, 2), (0, 2, 2)) == 1
+        assert hamming_distance((0, 0), (1, 1)) == 2
+        assert hamming_distance((1, 1), (1, 1)) == 0
+
+    def test_hamming_rejects_length_mismatch(self):
+        with pytest.raises(CodeError):
+            hamming_distance((0,), (0, 1))
+
+    def test_covers_dominance(self):
+        assert covers((1, 1), (0, 1))
+        assert covers((1, 1), (1, 1))
+        assert not covers((0, 1), (1, 0))
+
+    def test_covers_rejects_length_mismatch(self):
+        with pytest.raises(CodeError):
+            covers((0,), (0, 1))
+
+
+class TestIsAntichain:
+    def test_constant_weight_words_are_antichain(self):
+        assert is_antichain([(0, 1), (1, 0)])
+
+    def test_dominated_word_breaks_antichain(self):
+        assert not is_antichain([(0, 0), (0, 1)])
+
+    def test_single_word_is_antichain(self):
+        assert is_antichain([(0, 1, 0)])
+
+
+class TestCodeSpace:
+    def test_basic_properties(self):
+        cs = CodeSpace([(0, 0), (0, 1), (1, 0)], n=2)
+        assert cs.size == 3
+        assert cs.length == 2
+        assert cs.n == 2
+        assert not cs.reflected
+        assert cs.total_length == 2
+
+    def test_reflected_total_length(self):
+        cs = CodeSpace([(0, 0), (0, 1)], n=2, reflected=True)
+        assert cs.total_length == 4
+        assert cs.pattern_word(1) == (0, 1, 1, 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodeError):
+            CodeSpace([], n=2)
+
+    def test_rejects_mixed_lengths(self):
+        with pytest.raises(CodeError):
+            CodeSpace([(0,), (0, 1)], n=2)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(CodeError):
+            CodeSpace([(0, 1), (0, 1)], n=2)
+
+    def test_pattern_rows_cycles(self):
+        cs = CodeSpace([(0, 1), (1, 0)], n=2)
+        rows = cs.pattern_rows(5)
+        assert rows == [(0, 1), (1, 0), (0, 1), (1, 0), (0, 1)]
+
+    def test_pattern_rows_rejects_zero(self):
+        cs = CodeSpace([(0, 1)], n=2)
+        with pytest.raises(CodeError):
+            cs.pattern_rows(0)
+
+    def test_rearranged_permutes(self):
+        cs = CodeSpace([(0, 0), (0, 1), (1, 0)], n=2)
+        out = cs.rearranged([2, 0, 1])
+        assert out.words == ((1, 0), (0, 0), (0, 1))
+        assert out.family == cs.family
+
+    def test_rearranged_rejects_non_permutation(self):
+        cs = CodeSpace([(0, 0), (0, 1)], n=2)
+        with pytest.raises(CodeError):
+            cs.rearranged([0, 0])
+
+    def test_dunder_protocol(self):
+        cs = CodeSpace([(0, 0), (1, 1)], n=2)
+        assert len(cs) == 2
+        assert list(cs) == [(0, 0), (1, 1)]
+        assert cs[1] == (1, 1)
+        assert (0, 0) in cs
+        assert (0, 1) not in cs
+
+    def test_equality_and_hash(self):
+        a = CodeSpace([(0, 1)], n=2)
+        b = CodeSpace([(0, 1)], n=2)
+        c = CodeSpace([(0, 1)], n=2, reflected=True)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_name(self):
+        cs = CodeSpace([(0, 1)], n=2, name="demo")
+        assert "demo" in repr(cs)
+
+    def test_unreflected_tree_words_not_uniquely_addressable(self):
+        cs = CodeSpace([(0, 0), (0, 1), (1, 1)], n=2)
+        assert not cs.is_uniquely_addressable()
+
+    def test_reflection_restores_unique_addressability(self):
+        cs = CodeSpace([(0, 0), (0, 1), (1, 1)], n=2, reflected=True)
+        assert cs.is_uniquely_addressable()

@@ -1,0 +1,75 @@
+"""Unit tests for repro.codes.gray."""
+
+import pytest
+
+from repro.codes.base import CodeError, hamming_distance
+from repro.codes.gray import GrayCode, gray_rank, reflected_gray_words
+from repro.codes.metrics import is_gray_sequence
+from repro.codes.tree import counting_words
+
+
+class TestReflectedGrayWords:
+    @pytest.mark.parametrize("n,m", [(2, 1), (2, 4), (2, 5), (3, 2), (3, 3), (4, 2)])
+    def test_single_digit_steps(self, n, m):
+        words = reflected_gray_words(n, m)
+        assert is_gray_sequence(words)
+
+    @pytest.mark.parametrize("n,m", [(2, 4), (3, 3), (4, 2)])
+    def test_steps_change_digit_by_one(self, n, m):
+        words = reflected_gray_words(n, m)
+        for a, b in zip(words, words[1:]):
+            deltas = [abs(x - y) for x, y in zip(a, b) if x != y]
+            assert deltas == [1]
+
+    @pytest.mark.parametrize("n,m", [(2, 3), (3, 2), (4, 2)])
+    def test_same_word_set_as_tree_code(self, n, m):
+        assert set(reflected_gray_words(n, m)) == set(counting_words(n, m))
+
+    def test_starts_at_zero_word(self):
+        assert reflected_gray_words(3, 3)[0] == (0, 0, 0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CodeError):
+            reflected_gray_words(1, 3)
+        with pytest.raises(CodeError):
+            reflected_gray_words(2, 0)
+
+
+class TestGrayRank:
+    @pytest.mark.parametrize("n,m", [(2, 4), (2, 5), (3, 3), (4, 2)])
+    def test_unranking_matches_enumeration(self, n, m):
+        for i, w in enumerate(reflected_gray_words(n, m)):
+            assert gray_rank(w, n) == i
+
+    def test_rejects_bad_digit(self):
+        with pytest.raises(CodeError):
+            gray_rank((0, 3), 3)
+
+
+class TestGrayCode:
+    def test_family_and_reflection(self):
+        gc = GrayCode(2, 4)
+        assert gc.family == "GC"
+        assert gc.reflected
+        assert gc.total_length == 8
+
+    def test_reflected_patterns_double_transitions(self):
+        gc = GrayCode(2, 3)
+        patterns = gc.pattern_words()
+        for a, b in zip(patterns, patterns[1:]):
+            assert hamming_distance(a, b) == 2  # digit + its complement
+
+    def test_uniquely_addressable(self):
+        assert GrayCode(3, 2).is_uniquely_addressable()
+
+    def test_from_total_length_rejects_odd(self):
+        with pytest.raises(CodeError):
+            GrayCode.from_total_length(2, 5)
+
+    def test_shortest_covering(self):
+        assert GrayCode.shortest_covering(2, 20).length == 5
+
+    def test_example_sequence_from_paper(self):
+        # Sec. 2.3: 0000 -> 0001 -> 0002 -> 0012 is an eligible Gray start
+        words = reflected_gray_words(3, 4)[:4]
+        assert words == [(0, 0, 0, 0), (0, 0, 0, 1), (0, 0, 0, 2), (0, 0, 1, 2)]

@@ -1,0 +1,93 @@
+"""Unit tests for repro.codes.hot."""
+
+from collections import Counter
+from math import comb
+
+import pytest
+
+from repro.codes.base import CodeError
+from repro.codes.hot import HotCode, hot_code_size, hot_words, multiset_permutations
+
+
+class TestMultisetPermutations:
+    def test_binary_counts(self):
+        words = multiset_permutations([2, 2])
+        assert len(words) == comb(4, 2)
+        assert words[0] == (0, 0, 1, 1)
+
+    def test_lexicographic_order(self):
+        words = multiset_permutations([1, 1, 1])
+        assert words == sorted(words)
+        assert len(words) == 6
+
+    def test_all_words_distinct(self):
+        words = multiset_permutations([2, 2, 2])
+        assert len(set(words)) == len(words)
+
+    def test_multiplicities_preserved(self):
+        for w in multiset_permutations([2, 1]):
+            c = Counter(w)
+            assert c[0] == 2 and c[1] == 1
+
+    def test_rejects_empty(self):
+        with pytest.raises(CodeError):
+            multiset_permutations([0, 0])
+
+
+class TestHotCodeSize:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [(2, 1, 2), (2, 2, 6), (2, 3, 20), (2, 4, 70), (3, 1, 6), (3, 2, 90)],
+    )
+    def test_multinomial_sizes(self, n, k, expected):
+        assert hot_code_size(n, k) == expected
+
+
+class TestHotWords:
+    def test_matches_paper_description(self):
+        # paper Sec. 2.3: 001122 and 012120 are in the (6,2) ternary space
+        words = set(hot_words(3, 2))
+        assert (0, 0, 1, 1, 2, 2) in words
+        assert (0, 1, 2, 1, 2, 0) in words
+        # 000121 is not: 0 appears 3 times, 2 once
+        assert (0, 0, 0, 1, 2, 1) not in words
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CodeError):
+            hot_words(1, 2)
+        with pytest.raises(CodeError):
+            hot_words(2, 0)
+
+
+class TestHotCode:
+    def test_family_not_reflected(self):
+        hc = HotCode(2, 3)
+        assert hc.family == "HC"
+        assert not hc.reflected
+        assert hc.total_length == 6
+
+    def test_size_matches_formula(self):
+        assert HotCode(2, 4).size == hot_code_size(2, 4)
+
+    def test_uniquely_addressable_without_reflection(self):
+        assert HotCode(2, 2).is_uniquely_addressable()
+        assert HotCode(3, 1).is_uniquely_addressable()
+
+    def test_k_property(self):
+        assert HotCode(2, 3).k == 3
+
+    def test_from_total_length(self):
+        hc = HotCode.from_total_length(2, 8)
+        assert hc.k == 4
+        assert hc.total_length == 8
+
+    def test_from_total_length_requires_divisibility(self):
+        with pytest.raises(CodeError):
+            HotCode.from_total_length(2, 7)
+        with pytest.raises(CodeError):
+            HotCode.from_total_length(3, 8)
+
+    def test_shortest_covering(self):
+        # need >= 10 words in binary: k=2 gives 6, k=3 gives 20
+        assert HotCode.shortest_covering(2, 10).k == 3
+        assert HotCode.shortest_covering(2, 6).k == 2

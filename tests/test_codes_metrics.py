@@ -1,0 +1,96 @@
+"""Unit tests for repro.codes.metrics."""
+
+import pytest
+
+from repro.codes.gray import GrayCode
+from repro.codes.metrics import (
+    balance_spread,
+    digit_transition_counts,
+    is_distance_sequence,
+    is_gray_sequence,
+    max_digit_transitions,
+    space_transition_summary,
+    step_transitions,
+    total_transitions,
+    transition_positions,
+)
+from repro.codes.tree import TreeCode
+
+
+class TestTransitionPositions:
+    def test_positions(self):
+        assert transition_positions((0, 1, 2), (0, 2, 2)) == [1]
+        assert transition_positions((0, 0), (1, 1)) == [0, 1]
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            transition_positions((0,), (0, 1))
+
+
+class TestStepTransitions:
+    def test_counts(self):
+        words = [(0, 0), (0, 1), (1, 0)]
+        assert step_transitions(words) == [1, 2]
+        assert total_transitions(words) == 3
+
+    def test_empty_and_singleton(self):
+        assert step_transitions([]) == []
+        assert step_transitions([(0, 1)]) == []
+        assert total_transitions([]) == 0
+
+
+class TestDigitTransitionCounts:
+    def test_per_digit(self):
+        words = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert digit_transition_counts(words) == [1, 2]
+
+    def test_empty(self):
+        assert digit_transition_counts([]) == []
+
+    def test_binary_counting_is_lsb_heavy(self):
+        words = list(TreeCode(2, 3).words)
+        counts = digit_transition_counts(words)
+        assert counts[-1] > counts[0]  # LSB changes most
+
+    def test_max_and_spread(self):
+        words = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert max_digit_transitions(words) == 2
+        assert balance_spread(words) == 1
+
+    def test_spread_zero_when_balanced(self):
+        words = [(0, 0), (0, 1), (1, 1)]
+        assert balance_spread(words) == 0
+
+    def test_empty_edge_cases(self):
+        assert max_digit_transitions([]) == 0
+        assert balance_spread([]) == 0
+
+
+class TestSequencePredicates:
+    def test_is_gray_sequence(self):
+        assert is_gray_sequence([(0, 0), (0, 1), (1, 1)])
+        assert not is_gray_sequence([(0, 0), (1, 1)])
+
+    def test_is_distance_sequence(self):
+        assert is_distance_sequence([(0, 1), (1, 0)], 2)
+        assert not is_distance_sequence([(0, 1), (0, 1)], 2)
+
+
+class TestSpaceTransitionSummary:
+    def test_summary_structure(self):
+        gc = GrayCode(2, 3)
+        s = space_transition_summary(gc)
+        assert s["rows"] == gc.size
+        assert s["name"] == gc.name
+        assert len(s["per_digit"]) == gc.total_length
+        assert s["total_transitions"] == sum(s["per_digit"])
+
+    def test_reflected_gray_steps_are_two(self):
+        s = space_transition_summary(GrayCode(2, 3))
+        assert s["max_step"] == 2  # digit + complement change together
+        assert s["mean_step"] == 2.0
+
+    def test_row_override_cycles(self):
+        gc = GrayCode(2, 2)
+        s = space_transition_summary(gc, rows=10)
+        assert s["rows"] == 10

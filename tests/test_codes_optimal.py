@@ -1,0 +1,126 @@
+"""Unit tests for repro.codes.optimal — exact arrangement optimality."""
+
+import pytest
+
+from repro.codes import (
+    ArrangedHotCode,
+    GrayCode,
+    HotCode,
+    TreeCode,
+)
+from repro.codes.optimal import (
+    OptimalSearchError,
+    gray_sigma_lower_bound,
+    minimise_phi_arrangement,
+    minimise_sigma_arrangement,
+    phi_cost_of_order,
+    sigma_cost_of_order,
+    verify_gray_exact_optimality,
+)
+from repro.decoder.variability import code_variability, sigma_norm1
+
+
+class TestSigmaCostIdentity:
+    """The closed-form ||nu||_1 identity against the matrix pipeline."""
+
+    @pytest.mark.parametrize(
+        "space",
+        [TreeCode(2, 3), GrayCode(2, 3), GrayCode(3, 2), HotCode(2, 2),
+         ArrangedHotCode(2, 2)],
+        ids=lambda s: s.name,
+    )
+    def test_identity_matches_matrices(self, space):
+        identity = sigma_cost_of_order(space, list(range(space.size)))
+        matrices = sigma_norm1(code_variability(space, space.size, sigma_t=1.0))
+        assert identity == matrices
+
+    def test_identity_on_rearrangements(self):
+        space = TreeCode(2, 2)
+        for order in ([0, 1, 2, 3], [3, 1, 0, 2], [2, 3, 0, 1]):
+            identity = sigma_cost_of_order(space, order)
+            reordered = space.rearranged(order)
+            matrices = sigma_norm1(
+                code_variability(reordered, space.size, sigma_t=1.0)
+            )
+            assert identity == matrices
+
+
+class TestExactSigmaOptimum:
+    @pytest.mark.parametrize("n,m", [(2, 2), (2, 3), (3, 2)])
+    def test_gray_attains_global_optimum(self, n, m):
+        """Prop. 4, certified over the whole permutation space."""
+        assert verify_gray_exact_optimality(n, m)
+
+    def test_lower_bound_matches_gray(self):
+        gray = GrayCode(2, 3)
+        assert sigma_cost_of_order(gray, list(range(gray.size))) == (
+            gray_sigma_lower_bound(gray)
+        )
+
+    def test_counting_order_is_suboptimal(self):
+        tree = TreeCode(2, 3)
+        optimum = minimise_sigma_arrangement(tree)
+        counting = sigma_cost_of_order(tree, list(range(tree.size)))
+        assert optimum.cost < counting
+
+    def test_optimum_is_a_permutation(self):
+        result = minimise_sigma_arrangement(TreeCode(2, 2))
+        assert sorted(result.order) == list(range(4))
+
+    def test_arranged_hot_attains_optimum(self):
+        """Sec. 5.2: the distance-2 arrangement is globally optimal."""
+        ahc = ArrangedHotCode(2, 2)
+        cost = sigma_cost_of_order(ahc, list(range(ahc.size)))
+        assert cost == minimise_sigma_arrangement(ahc).cost
+
+    def test_budget_exceeded_raises(self):
+        with pytest.raises(OptimalSearchError):
+            minimise_sigma_arrangement(TreeCode(2, 3), node_budget=5)
+
+
+class TestExactPhiOptimum:
+    @pytest.mark.parametrize("n,m", [(2, 2), (2, 3)])
+    def test_gray_attains_phi_optimum_binary(self, n, m):
+        """Prop. 5, certified over the whole permutation space."""
+        gray = GrayCode(n, m)
+        gray_phi = phi_cost_of_order(gray, list(range(gray.size)))
+        assert gray_phi == minimise_phi_arrangement(gray).cost
+
+    def test_ternary_boundary_effect_is_at_most_one_step(self):
+        """Documented deviation from the paper's Prop. 5 proof.
+
+        Phi counts *distinct dose values*, so the direct doping of the
+        last-defined wire costs fewer steps when that wire's pattern is
+        constant (e.g. the reflected ternary word 1111 needs one dose).
+        An arrangement exploiting this can undercut Gray by exactly this
+        final-row term; the transition part of Phi — what the paper's
+        proof actually bounds — is still minimised by Gray.
+        """
+        gray = GrayCode(3, 2)
+        gray_phi = phi_cost_of_order(gray, list(range(gray.size)))
+        optimum = minimise_phi_arrangement(gray)
+        assert optimum.cost <= gray_phi <= optimum.cost + 1
+
+    def test_phi_cost_matches_plan_pipeline(self):
+        space = TreeCode(2, 2)
+        order = [2, 0, 3, 1]
+        from repro.fabrication.complexity import fabrication_complexity
+        from repro.fabrication.doping import DopingPlan, default_digit_map
+
+        plan = DopingPlan.from_code(
+            space.rearranged(order), space.size, default_digit_map(2)
+        )
+        assert phi_cost_of_order(space, order) == fabrication_complexity(
+            plan.steps
+        )
+
+    def test_budget_exceeded_raises(self):
+        # ternary space: the root bound does not close the search, so a
+        # tiny budget is actually consumed
+        with pytest.raises(OptimalSearchError):
+            minimise_phi_arrangement(GrayCode(3, 2), node_budget=5)
+
+    def test_two_word_space(self):
+        small = HotCode(2, 1)  # words (0,1) and (1,0)
+        result = minimise_phi_arrangement(small)
+        assert sorted(result.order) == list(range(small.size))

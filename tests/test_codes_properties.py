@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the code-space layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.base import (
+    complement_word,
+    covers,
+    hamming_distance,
+    is_antichain,
+    reflect_word,
+)
+from repro.codes.gray import GrayCode, gray_rank
+from repro.codes.hot import hot_words
+from repro.codes.metrics import (
+    digit_transition_counts,
+    step_transitions,
+    total_transitions,
+)
+from repro.codes.tree import TreeCode, int_to_word, word_to_int
+
+valences = st.integers(min_value=2, max_value=5)
+lengths = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def word_and_valence(draw):
+    n = draw(valences)
+    m = draw(lengths)
+    word = tuple(draw(st.integers(0, n - 1)) for _ in range(m))
+    return word, n
+
+
+@given(word_and_valence())
+def test_complement_is_involution(data):
+    word, n = data
+    assert complement_word(complement_word(word, n), n) == word
+
+
+@given(word_and_valence())
+def test_reflected_word_has_constant_digit_sum(data):
+    word, n = data
+    reflected = reflect_word(word, n)
+    assert sum(reflected) == len(word) * (n - 1)
+
+
+@given(word_and_valence())
+def test_reflection_halves_are_complements(data):
+    word, n = data
+    reflected = reflect_word(word, n)
+    m = len(word)
+    assert complement_word(reflected[:m], n) == reflected[m:]
+
+
+@given(word_and_valence(), word_and_valence())
+def test_hamming_symmetry(a_data, b_data):
+    a, n1 = a_data
+    b, _ = b_data
+    if len(a) == len(b):
+        assert hamming_distance(a, b) == hamming_distance(b, a)
+
+
+@given(word_and_valence())
+def test_covers_is_reflexive(data):
+    word, _ = data
+    assert covers(word, word)
+
+
+@given(valences, st.integers(min_value=1, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_tree_code_reflection_gives_antichain(n, m):
+    tc = TreeCode(n, m)
+    assert is_antichain(tc.pattern_words())
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_gray_code_single_digit_steps(n, m):
+    words = list(GrayCode(n, m).words)
+    assert all(d == 1 for d in step_transitions(words))
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=1, max_value=4))
+@settings(max_examples=20, deadline=None)
+def test_gray_rank_bijective(n, m):
+    words = list(GrayCode(n, m).words)
+    ranks = sorted(gray_rank(w, n) for w in words)
+    assert ranks == list(range(len(words)))
+
+
+@given(valences, lengths, st.integers(min_value=0, max_value=10**6))
+def test_int_word_roundtrip(n, m, value):
+    value %= n**m
+    assert word_to_int(int_to_word(value, n, m), n) == value
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_hot_words_constant_multiplicity(n, k):
+    from collections import Counter
+
+    for w in hot_words(n, k):
+        counts = Counter(w)
+        assert all(counts[v] == k for v in range(n))
+
+
+@given(st.integers(min_value=2, max_value=3), st.integers(min_value=1, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_hot_words_are_antichain(n, k):
+    assert is_antichain(hot_words(n, k))
+
+
+@st.composite
+def word_sequences(draw):
+    n = draw(st.integers(2, 4))
+    m = draw(st.integers(1, 4))
+    count = draw(st.integers(2, 8))
+    return [
+        tuple(draw(st.integers(0, n - 1)) for _ in range(m)) for _ in range(count)
+    ]
+
+
+@given(word_sequences())
+def test_total_transitions_equals_per_digit_sum(words):
+    assert total_transitions(words) == sum(digit_transition_counts(words))
+
+
+@given(word_sequences())
+def test_step_transitions_bounded_by_length(words):
+    m = len(words[0])
+    assert all(0 <= d <= m for d in step_transitions(words))

@@ -1,0 +1,57 @@
+"""Unit tests for repro.codes.reflect."""
+
+import pytest
+
+from repro.codes.base import reflect_word
+from repro.codes.reflect import (
+    digit_sum,
+    is_reflected_form,
+    reflect_space,
+    unreflect_word,
+)
+from repro.codes.tree import TreeCode
+
+
+class TestUnreflect:
+    def test_roundtrip(self):
+        w = (0, 2, 1)
+        assert unreflect_word(reflect_word(w, 3), 3) == w
+
+    def test_rejects_odd_length(self):
+        with pytest.raises(ValueError):
+            unreflect_word((0, 1, 2), 3)
+
+    def test_rejects_non_reflected(self):
+        with pytest.raises(ValueError):
+            unreflect_word((0, 1, 0, 1), 2)  # tail is not complement
+
+
+class TestIsReflectedForm:
+    def test_positive(self):
+        assert is_reflected_form((0, 1, 1, 0), 2)
+
+    def test_negative(self):
+        assert not is_reflected_form((0, 1, 0, 1), 2)
+        assert not is_reflected_form((0, 1, 1), 2)
+
+
+class TestDigitSum:
+    def test_reflected_words_share_digit_sum(self):
+        tc = TreeCode(3, 2)
+        sums = {digit_sum(p) for p in tc.pattern_words()}
+        assert len(sums) == 1
+
+    def test_plain_sum(self):
+        assert digit_sum((1, 2, 3)) == 6
+
+
+class TestReflectSpace:
+    def test_explicit_space_matches_patterns(self):
+        tc = TreeCode(2, 2)
+        explicit = reflect_space(tc)
+        assert not explicit.reflected
+        assert list(explicit.words) == tc.pattern_words()
+        assert explicit.family == tc.family
+
+    def test_explicit_space_is_antichain(self):
+        assert reflect_space(TreeCode(2, 3)).is_uniquely_addressable()

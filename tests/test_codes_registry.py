@@ -1,0 +1,80 @@
+"""Unit tests for repro.codes.registry."""
+
+import pytest
+
+from repro.codes.base import CodeError
+from repro.codes.registry import (
+    ALL_FAMILIES,
+    HOT_FAMILIES,
+    TREE_FAMILIES,
+    family_lengths,
+    make_code,
+    shortest_covering_code,
+)
+
+
+class TestMakeCode:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_builds_every_family(self, family):
+        length = 8 if family in TREE_FAMILIES else 6
+        space = make_code(family, 2, length)
+        assert space.family == family
+        assert space.total_length == length
+
+    def test_case_insensitive(self):
+        assert make_code("bgc", 2, 8).family == "BGC"
+
+    def test_sizes(self):
+        assert make_code("TC", 2, 8).size == 16
+        assert make_code("HC", 2, 6).size == 20
+        assert make_code("HC", 2, 8).size == 70
+
+    def test_unknown_family(self):
+        with pytest.raises(CodeError):
+            make_code("XYZ", 2, 8)
+
+    def test_tree_families_reject_odd_length(self):
+        for family in TREE_FAMILIES:
+            with pytest.raises(CodeError):
+                make_code(family, 2, 7)
+
+    def test_hot_families_require_divisibility(self):
+        for family in HOT_FAMILIES:
+            with pytest.raises(CodeError):
+                make_code(family, 2, 5)
+
+
+class TestFamilyLengths:
+    def test_defaults(self):
+        assert family_lengths("TC") == (6, 8, 10)
+        assert family_lengths("AHC") == (4, 6, 8)
+
+    def test_override(self):
+        assert family_lengths("TC", (2, 4)) == (2, 4)
+
+    def test_unknown(self):
+        with pytest.raises(CodeError):
+            family_lengths("XYZ")
+
+
+class TestShortestCoveringCode:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_covers_count(self, family):
+        space = shortest_covering_code(family, 2, 10)
+        assert space.size >= 10
+
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_is_minimal(self, family):
+        space = shortest_covering_code(family, 2, 10)
+        # one size smaller must not cover
+        if family in TREE_FAMILIES:
+            smaller = 2 ** (space.length - 1)
+        else:
+            from repro.codes.hot import hot_code_size
+
+            smaller = hot_code_size(2, space.total_length // 2 - 1)
+        assert smaller < 10
+
+    def test_unknown(self):
+        with pytest.raises(CodeError):
+            shortest_covering_code("XYZ", 2, 10)

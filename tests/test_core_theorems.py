@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.theorems — executable Props. 1-5."""
+
+import pytest
+
+from repro.core.theorems import (
+    check_all,
+    check_arranged_hot_optimality,
+    check_prop1_bijection,
+    check_prop2_accumulation,
+    check_prop4_gray_minimises_variability,
+    check_prop5_gray_minimises_complexity,
+)
+from repro.fabrication.doping import DopingPlan, default_digit_map
+
+
+class TestProp1:
+    def test_default_map_is_bijection(self):
+        assert check_prop1_bijection(default_digit_map(2))
+        assert check_prop1_bijection(default_digit_map(3))
+        assert check_prop1_bijection(default_digit_map(4))
+
+
+class TestProp2:
+    def test_accumulation_for_every_family(self):
+        from repro.codes import make_code
+
+        for family, length in [("TC", 6), ("GC", 8), ("BGC", 8), ("HC", 6)]:
+            plan = DopingPlan.from_code(
+                make_code(family, 2, length), 15, default_digit_map(2)
+            )
+            assert check_prop2_accumulation(plan)
+
+
+class TestProp4And5:
+    @pytest.mark.parametrize("n,m", [(2, 2), (2, 3), (3, 2)])
+    def test_gray_minimises_variability(self, n, m):
+        assert check_prop4_gray_minimises_variability(n, m)
+
+    @pytest.mark.parametrize("n,m", [(2, 2), (2, 3), (3, 2)])
+    def test_gray_minimises_complexity(self, n, m):
+        assert check_prop5_gray_minimises_complexity(n, m)
+
+    def test_holds_for_partial_half_caves(self):
+        """The optimality also holds when N < Omega (fewer rows used)."""
+        assert check_prop4_gray_minimises_variability(2, 3, nanowires=5)
+        assert check_prop5_gray_minimises_complexity(2, 3, nanowires=5)
+
+    def test_counting_order_strictly_worse_somewhere(self):
+        """Sanity: the comparison is not vacuous — TC really loses."""
+        from repro.codes import GrayCode, TreeCode
+        from repro.decoder.variability import code_variability, sigma_norm1
+
+        tc = sigma_norm1(code_variability(TreeCode(2, 3), 8))
+        gc = sigma_norm1(code_variability(GrayCode(2, 3), 8))
+        assert gc < tc
+
+
+class TestArrangedHotOptimality:
+    @pytest.mark.parametrize("n,k", [(2, 2), (2, 3), (3, 1)])
+    def test_arranged_never_loses(self, n, k):
+        assert check_arranged_hot_optimality(n, k)
+
+
+class TestCheckAll:
+    def test_every_proposition_passes(self):
+        results = check_all()
+        assert all(results.values())
+        assert set(results) == {
+            "prop1_bijection",
+            "prop2_accumulation",
+            "prop4_gray_variability",
+            "prop5_gray_complexity",
+            "prop4_exact_optimum",
+            "prop5_exact_optimum",
+            "arranged_hot_optimality",
+        }

@@ -1,0 +1,140 @@
+"""Unit tests for repro.crossbar.array — the end-to-end integration object."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.crossbar.array import AddressingFault, CrossbarArray
+from repro.crossbar.readout import ReadoutModel
+
+
+@pytest.fixture(scope="module")
+def array():
+    from repro.crossbar.spec import CrossbarSpec
+
+    return CrossbarArray(
+        CrossbarSpec(), make_code("BGC", 2, 10), seed=42
+    )
+
+
+def accessible_cell(array, start_row=0, start_col=0):
+    rows, cols = array.shape
+    for r in range(start_row, rows):
+        for c in range(start_col, cols):
+            if array.is_accessible(r, c):
+                return r, c
+    raise AssertionError("no accessible crosspoint found")
+
+
+def inaccessible_row(array):
+    for r in range(array.shape[0]):
+        if not array.defects.row_ok[r]:
+            return r
+    raise AssertionError("no defective row in this sample")
+
+
+class TestConstruction:
+    def test_shape_matches_spec(self, array):
+        assert array.shape == (363, 363)
+
+    def test_summary(self, array):
+        s = array.summary()
+        assert 0 < s["accessible_fraction"] <= 1
+        assert s["bank_wires"] == 40
+        assert s["readout_scheme"] == "float"
+
+
+class TestAddressing:
+    def test_every_wire_has_address(self, array):
+        for wire in (0, 17, 100, array.address_map.wire_count - 1):
+            addr = array.row_address(wire)
+            assert array.address_map.wire_of(addr) == wire
+
+    def test_access_to_defective_row_raises(self, array):
+        r = inaccessible_row(array)
+        c = accessible_cell(array)[1]
+        with pytest.raises(AddressingFault):
+            array.write_bit(r, c, True)
+
+    def test_out_of_range_raises(self, array):
+        with pytest.raises(AddressingFault):
+            array.read_bit(9999, 0)
+
+    def test_is_accessible_bounds(self, array):
+        assert not array.is_accessible(-1, 0)
+        assert not array.is_accessible(0, 99999)
+
+
+class TestElectricalBitAccess:
+    def test_bit_roundtrip_through_readout(self, array):
+        r, c = accessible_cell(array)
+        array.write_bit(r, c, True)
+        assert array.read_bit(r, c) is True
+        array.write_bit(r, c, False)
+        assert array.read_bit(r, c) is False
+
+    def test_roundtrip_with_busy_background(self, array, rng):
+        """Reads stay correct with the surrounding bank full of ONes —
+        the worst sneak-path scenario the threshold is designed for."""
+        r, c = accessible_cell(array)
+        r0 = (r // 40) * 40
+        c0 = (c // 40) * 40
+        rows, cols, bits = [], [], []
+        for i in range(r0, min(r0 + 40, array.shape[0])):
+            for j in range(c0, min(c0 + 40, array.shape[1])):
+                rows.append(i)
+                cols.append(j)
+                bits.append(True)
+        array.write_pattern(np.array(rows), np.array(cols), np.array(bits))
+
+        if array.is_accessible(r, c):
+            array.write_bit(r, c, False)
+            assert array.read_bit(r, c) is False
+            array.write_bit(r, c, True)
+            assert array.read_bit(r, c) is True
+
+    def test_read_margin_positive_and_background_dependent(self, array):
+        r, c = accessible_cell(array)
+        r0 = (r // 40) * 40
+        c0 = (c // 40) * 40
+        rows, cols = np.meshgrid(
+            np.arange(r0, min(r0 + 40, array.shape[0])),
+            np.arange(c0, min(c0 + 40, array.shape[1])),
+        )
+        # quiet bank: everything OFF (the fixture is shared, so reset)
+        array.write_pattern(rows, cols, np.zeros_like(rows, dtype=bool))
+        quiet = array.read_margin(r, c)
+        assert quiet > 0
+        # busy bank: the sneak pedestal shrinks the margin
+        array.write_pattern(rows, cols, np.ones_like(rows, dtype=bool))
+        busy = array.read_margin(r, c)
+        assert 0 < busy < quiet
+
+    def test_grounded_scheme_also_works(self):
+        from repro.crossbar.spec import CrossbarSpec
+
+        quiet = CrossbarArray(
+            CrossbarSpec(),
+            make_code("BGC", 2, 10),
+            seed=7,
+            readout=ReadoutModel(scheme="ground"),
+        )
+        r, c = accessible_cell(quiet)
+        quiet.write_bit(r, c, True)
+        assert quiet.read_bit(r, c) is True
+
+
+class TestWritePattern:
+    def test_skips_inaccessible(self, array, rng):
+        rows = np.arange(50)
+        cols = np.arange(50)
+        bits = np.ones(50, dtype=bool)
+        written = array.write_pattern(rows, cols, bits)
+        accessible = sum(
+            1 for r, c in zip(rows, cols) if array.is_accessible(int(r), int(c))
+        )
+        assert written == accessible
+
+    def test_shape_mismatch_raises(self, array):
+        with pytest.raises(ValueError):
+            array.write_pattern(np.arange(3), np.arange(2), np.ones(3, bool))

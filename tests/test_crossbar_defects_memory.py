@@ -1,0 +1,104 @@
+"""Unit tests for repro.crossbar.defects and repro.crossbar.memory."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.crossbar.defects import DefectMap, sample_defect_map, sample_layer_mask
+from repro.crossbar.memory import CapacityError, CrossbarMemory
+
+
+class TestDefectMap:
+    def test_working_is_outer_and(self):
+        dm = DefectMap(
+            row_ok=np.array([True, False]), col_ok=np.array([True, True, False])
+        )
+        assert dm.shape == (2, 3)
+        assert dm.working_bits == 1 * 2
+        assert dm.working.sum() == 2
+
+    def test_crosspoint_yield(self):
+        dm = DefectMap(
+            row_ok=np.array([True, True]), col_ok=np.array([True, False])
+        )
+        assert dm.crosspoint_yield == pytest.approx(0.5)
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ValueError):
+            DefectMap(row_ok=np.ones((2, 2), bool), col_ok=np.ones(2, bool))
+
+
+class TestSampleDefectMap:
+    def test_layer_mask_length(self, spec, rng):
+        mask = sample_layer_mask(spec, make_code("BGC", 2, 8), rng)
+        assert mask.size == spec.side_nanowires
+
+    def test_deterministic_with_seed(self, spec):
+        code = make_code("BGC", 2, 8)
+        a = sample_defect_map(spec, code, seed=2)
+        b = sample_defect_map(spec, code, seed=2)
+        assert np.array_equal(a.row_ok, b.row_ok)
+        assert np.array_equal(a.col_ok, b.col_ok)
+
+    def test_yield_close_to_analytic_square(self, spec):
+        from repro.crossbar.yield_model import crossbar_yield
+
+        code = make_code("BGC", 2, 10)
+        dm = sample_defect_map(spec, code, seed=9)
+        analytic = crossbar_yield(spec, code).cave_yield ** 2
+        assert dm.crosspoint_yield == pytest.approx(analytic, abs=0.05)
+
+
+class TestCrossbarMemory:
+    def tiny_memory(self):
+        dm = DefectMap(
+            row_ok=np.array([True, False, True]),
+            col_ok=np.array([True, True, False]),
+        )
+        return CrossbarMemory(dm)
+
+    def test_capacity(self):
+        mem = self.tiny_memory()
+        assert mem.capacity_bits == 4  # 2 rows x 2 cols
+        assert mem.raw_bits == 9
+        assert mem.efficiency == pytest.approx(4 / 9)
+
+    def test_bit_roundtrip(self):
+        mem = self.tiny_memory()
+        mem.write(0, True)
+        mem.write(3, True)
+        assert mem.read(0) and mem.read(3)
+        assert not mem.read(1)
+
+    def test_bits_land_on_working_crosspoints(self):
+        mem = self.tiny_memory()
+        for addr in range(mem.capacity_bits):
+            mem.write(addr, True)
+        stored = mem._data
+        assert stored[1, :].sum() == 0  # broken row untouched
+        assert stored[:, 2].sum() == 0  # broken column untouched
+
+    def test_block_roundtrip(self, rng):
+        mem = self.tiny_memory()
+        bits = rng.integers(0, 2, 4).astype(bool)
+        mem.write_block(0, bits)
+        assert np.array_equal(mem.read_block(0, 4), bits)
+
+    def test_out_of_range_raises(self):
+        mem = self.tiny_memory()
+        with pytest.raises(CapacityError):
+            mem.read(4)
+        with pytest.raises(CapacityError):
+            mem.write(-1, True)
+        with pytest.raises(CapacityError):
+            mem.write_block(2, np.ones(5, bool))
+        with pytest.raises(CapacityError):
+            mem.read_block(3, 2)
+
+    def test_full_pipeline_roundtrip(self, spec, rng):
+        """Integration: sampled crossbar stores and recovers a payload."""
+        code = make_code("BGC", 2, 10)
+        mem = CrossbarMemory(sample_defect_map(spec, code, seed=4))
+        payload = rng.integers(0, 2, 2048).astype(bool)
+        mem.write_block(0, payload)
+        assert np.array_equal(mem.read_block(0, 2048), payload)

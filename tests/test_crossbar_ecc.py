@@ -1,0 +1,127 @@
+"""Unit tests for repro.crossbar.ecc — SECDED over the crossbar memory."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.defects import DefectMap
+from repro.crossbar.ecc import EccError, EccMemory, SecdedCode
+from repro.crossbar.memory import CrossbarMemory
+
+
+@pytest.fixture
+def code():
+    return SecdedCode(parity_bits=3)  # (8, 4) extended Hamming
+
+
+def perfect_memory(bits: int) -> CrossbarMemory:
+    side = int(np.ceil(np.sqrt(bits)))
+    return CrossbarMemory(
+        DefectMap(row_ok=np.ones(side, bool), col_ok=np.ones(side, bool))
+    )
+
+
+class TestSecdedCode:
+    def test_parameters(self, code):
+        assert code.data_bits == 4
+        assert code.block_bits == 8
+
+    def test_default_is_64_57(self):
+        default = SecdedCode()
+        assert default.block_bits == 64
+        assert default.data_bits == 57
+
+    def test_rejects_tiny_codes(self):
+        with pytest.raises(EccError):
+            SecdedCode(parity_bits=1)
+
+    def test_encode_decode_roundtrip(self, code, rng):
+        for _ in range(16):
+            data = rng.integers(0, 2, code.data_bits).astype(bool)
+            decoded, corrected = code.decode(code.encode(data))
+            assert np.array_equal(decoded, data)
+            assert corrected == -1
+
+    def test_every_single_error_corrected(self, code, rng):
+        data = rng.integers(0, 2, code.data_bits).astype(bool)
+        block = code.encode(data)
+        for pos in range(code.block_bits):
+            corrupted = block.copy()
+            corrupted[pos] = ~corrupted[pos]
+            decoded, corrected = code.decode(corrupted)
+            assert np.array_equal(decoded, data), f"bit {pos}"
+            assert corrected == pos
+
+    def test_double_errors_detected(self, code, rng):
+        data = rng.integers(0, 2, code.data_bits).astype(bool)
+        block = code.encode(data)
+        # flip two distinct non-overall positions
+        for a, b in [(1, 2), (3, 7), (2, 6)]:
+            corrupted = block.copy()
+            corrupted[a] = ~corrupted[a]
+            corrupted[b] = ~corrupted[b]
+            with pytest.raises(EccError):
+                code.decode(corrupted)
+
+    def test_encode_rejects_wrong_width(self, code):
+        with pytest.raises(EccError):
+            code.encode(np.zeros(5, bool))
+
+    def test_decode_rejects_wrong_width(self, code):
+        with pytest.raises(EccError):
+            code.decode(np.zeros(7, bool))
+
+
+class TestEccMemory:
+    def test_capacity_accounting(self, code):
+        mem = EccMemory(perfect_memory(64), code)
+        assert mem.block_count == mem._memory.capacity_bits // 8
+        assert mem.capacity_bits == mem.block_count * 4
+
+    def test_roundtrip(self, code, rng):
+        mem = EccMemory(perfect_memory(64), code)
+        payloads = [
+            rng.integers(0, 2, code.data_bits).astype(bool)
+            for _ in range(mem.block_count)
+        ]
+        for i, p in enumerate(payloads):
+            mem.write_block(i, p)
+        for i, p in enumerate(payloads):
+            assert np.array_equal(mem.read_block(i), p)
+        assert mem.corrections == 0
+
+    def test_single_fault_transparent(self, code, rng):
+        mem = EccMemory(perfect_memory(64), code)
+        data = rng.integers(0, 2, code.data_bits).astype(bool)
+        mem.write_block(0, data)
+        mem.inject_bit_error(0, 5)
+        assert np.array_equal(mem.read_block(0), data)
+        assert mem.corrections == 1
+
+    def test_double_fault_raises(self, code, rng):
+        mem = EccMemory(perfect_memory(64), code)
+        mem.write_block(0, rng.integers(0, 2, code.data_bits).astype(bool))
+        mem.inject_bit_error(0, 2)
+        mem.inject_bit_error(0, 6)
+        with pytest.raises(EccError):
+            mem.read_block(0)
+
+    def test_block_bounds(self, code):
+        mem = EccMemory(perfect_memory(64), code)
+        with pytest.raises(EccError):
+            mem.write_block(mem.block_count, np.zeros(4, bool))
+        with pytest.raises(EccError):
+            mem.read_block(-1)
+        with pytest.raises(EccError):
+            mem.inject_bit_error(0, 8)
+
+    def test_on_sampled_crossbar(self, spec, rng):
+        """End to end: SECDED over a defective sampled crossbar."""
+        from repro.codes import make_code
+        from repro.crossbar.defects import sample_defect_map
+
+        defects = sample_defect_map(spec, make_code("BGC", 2, 10), seed=21)
+        mem = EccMemory(CrossbarMemory(defects))
+        data = rng.integers(0, 2, mem.code.data_bits).astype(bool)
+        mem.write_block(0, data)
+        mem.inject_bit_error(0, 30)
+        assert np.array_equal(mem.read_block(0), data)

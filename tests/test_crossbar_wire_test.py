@@ -1,0 +1,74 @@
+"""Unit tests for repro.crossbar.wire_test — the operational test flow."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.crossbar.wire_test import (
+    expected_pass_fraction,
+    measure_defect_map,
+    probe_half_cave,
+    probe_layer,
+)
+from repro.crossbar.yield_model import crossbar_yield, decoder_for
+
+
+class TestHalfCaveTest:
+    def test_report_fields(self, spec, rng):
+        decoder = decoder_for(spec, make_code("BGC", 2, 8))
+        report = probe_half_cave(decoder, rng)
+        assert report.passed.shape == (20,)
+        assert report.passed.dtype == bool
+        assert report.electrical_failures >= 0
+        assert report.geometric_failures >= 0
+
+    def test_failure_accounting_partitions_failures(self, spec, rng):
+        """geometric_failures only counts electrically-good wires, so the
+        two categories partition the failed set exactly."""
+        decoder = decoder_for(spec, make_code("TC", 2, 6))
+        report = probe_half_cave(decoder, rng)
+        total_failed = int((~report.passed).sum())
+        assert total_failed == (
+            report.electrical_failures + report.geometric_failures
+        )
+
+    def test_deterministic_given_rng_state(self, spec):
+        decoder = decoder_for(spec, make_code("BGC", 2, 8))
+        a = probe_half_cave(decoder, np.random.default_rng(5)).passed
+        b = probe_half_cave(decoder, np.random.default_rng(5)).passed
+        assert np.array_equal(a, b)
+
+
+class TestLayerAndMap:
+    def test_layer_mask_length(self, spec, rng):
+        mask = probe_layer(spec, make_code("BGC", 2, 8), rng)
+        assert mask.size == spec.side_nanowires
+
+    def test_measured_map_shape(self, spec):
+        dm = measure_defect_map(spec, make_code("BGC", 2, 10), seed=3)
+        assert dm.shape == (spec.side_nanowires, spec.side_nanowires)
+
+    def test_measured_map_deterministic(self, spec):
+        code = make_code("BGC", 2, 10)
+        a = measure_defect_map(spec, code, seed=9)
+        b = measure_defect_map(spec, code, seed=9)
+        assert np.array_equal(a.row_ok, b.row_ok)
+
+    def test_measured_map_feeds_memory(self, spec, rng):
+        from repro.crossbar.memory import CrossbarMemory
+
+        dm = measure_defect_map(spec, make_code("BGC", 2, 10), seed=1)
+        mem = CrossbarMemory(dm)
+        bits = rng.integers(0, 2, 128).astype(bool)
+        mem.write_block(0, bits)
+        assert np.array_equal(mem.read_block(0, 128), bits)
+
+
+class TestConsistencyWithAnalyticModel:
+    @pytest.mark.parametrize("family,length", [("TC", 8), ("BGC", 10), ("HC", 6)])
+    def test_measured_pass_fraction_matches_fig7(self, spec, family, length):
+        """The operational test flow converges to the analytic yield."""
+        code = make_code(family, 2, length)
+        measured = expected_pass_fraction(spec, code, samples=200, seed=17)
+        analytic = crossbar_yield(spec, code).cave_yield
+        assert measured == pytest.approx(analytic, abs=0.04)

@@ -1,0 +1,113 @@
+"""Unit tests for repro.decoder.addressing."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.codes.registry import ALL_FAMILIES, TREE_FAMILIES
+from repro.decoder.addressing import (
+    addresses_unique_wire,
+    conducting_wires,
+    expected_addressable,
+    sampled_addressable_mask,
+    wire_addressability,
+)
+from repro.decoder.pattern import pattern_matrix
+from repro.device.threshold import LevelScheme
+
+
+class TestConductingWires:
+    def test_dominated_patterns_conduct(self):
+        patterns = np.array([[0, 0], [0, 1], [1, 1]])
+        hits = conducting_wires(patterns, np.array([0, 1]))
+        assert hits.tolist() == [0, 1]
+
+    def test_full_address_turns_on_everything(self):
+        patterns = np.array([[0, 0], [0, 1], [1, 1]])
+        hits = conducting_wires(patterns, np.array([1, 1]))
+        assert hits.tolist() == [0, 1, 2]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            conducting_wires(np.zeros((2, 3), dtype=int), np.zeros(2, dtype=int))
+
+
+class TestAddressesUniqueWire:
+    @pytest.mark.parametrize("family", ALL_FAMILIES)
+    def test_every_family_uniquely_addresses(self, family):
+        length = 8 if family in TREE_FAMILIES else 6
+        space = make_code(family, 2, length)
+        patterns = pattern_matrix(space, space.size)
+        assert addresses_unique_wire(patterns)
+
+    def test_unreflected_tree_code_fails(self):
+        from repro.codes.tree import counting_words
+
+        patterns = np.array(counting_words(2, 3))
+        assert not addresses_unique_wire(patterns)
+
+    def test_cycled_patterns_select_their_copies(self):
+        """With two contact groups the same word selects both copies."""
+        space = make_code("GC", 2, 6)
+        patterns = pattern_matrix(space, 2 * space.size)
+        assert addresses_unique_wire(patterns)
+
+
+class TestWireAddressability:
+    def test_probabilities_bounded(self, binary_scheme):
+        nu = np.arange(1, 13).reshape(3, 4).astype(float)
+        p = wire_addressability(nu, binary_scheme)
+        assert np.all(p > 0) and np.all(p <= 1)
+
+    def test_monotone_in_variability(self, binary_scheme):
+        lo = wire_addressability(np.ones((1, 4)), binary_scheme)
+        hi = wire_addressability(np.full((1, 4), 16.0), binary_scheme)
+        assert hi[0] < lo[0]
+
+    def test_more_regions_lower_probability(self, binary_scheme):
+        few = wire_addressability(np.full((1, 4), 4.0), binary_scheme)
+        many = wire_addressability(np.full((1, 8), 4.0), binary_scheme)
+        assert many[0] < few[0]
+
+    def test_expected_addressable_sums(self, binary_scheme):
+        nu = np.ones((5, 4))
+        p = wire_addressability(nu, binary_scheme)
+        assert expected_addressable(nu, binary_scheme) == pytest.approx(p.sum())
+
+
+class TestSampledAddressableMask:
+    def test_exact_nominal_vt_all_addressable(self, binary_scheme):
+        patterns = np.array([[0, 1], [1, 0]])
+        levels = np.asarray(binary_scheme.levels)
+        vt = levels[patterns]
+        mask = sampled_addressable_mask(vt, patterns, binary_scheme)
+        assert mask.all()
+
+    def test_large_drift_fails(self, binary_scheme):
+        patterns = np.array([[0, 1]])
+        vt = np.array([[0.25, 0.25]])  # region 1 should be 0.75
+        mask = sampled_addressable_mask(vt, patterns, binary_scheme)
+        assert not mask[0]
+
+    def test_shape_mismatch(self, binary_scheme):
+        with pytest.raises(ValueError):
+            sampled_addressable_mask(
+                np.zeros((2, 3)), np.zeros((2, 2), dtype=int), binary_scheme
+            )
+
+    def test_agrees_with_analytic_in_expectation(self, binary_scheme, rng):
+        """MC fraction ~= product of window integrals for iid regions."""
+        from repro.device.variability import (
+            region_pass_probability,
+            sample_region_vt,
+        )
+
+        nu = np.full((2000, 4), 4.0)
+        patterns = np.zeros((2000, 4), dtype=int)
+        nominal = np.full((2000, 4), binary_scheme.levels[0])
+        vt = sample_region_vt(nominal, nu, rng)
+        mask = sampled_addressable_mask(vt, patterns, binary_scheme)
+        analytic = region_pass_probability(
+            nu[:1], binary_scheme.window_halfwidth
+        ).prod()
+        assert mask.mean() == pytest.approx(analytic, abs=0.03)

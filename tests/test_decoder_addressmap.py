@@ -1,0 +1,81 @@
+"""Unit tests for repro.decoder.addressmap."""
+
+import pytest
+
+from repro.codes import make_code
+from repro.decoder.addressmap import AddressError, AddressMap, WireAddress
+
+
+@pytest.fixture
+def amap(spec):
+    return AddressMap(spec, make_code("BGC", 2, 8))
+
+
+class TestWireAddress:
+    def test_validation(self):
+        with pytest.raises(AddressError):
+            WireAddress(cave=-1, side="left", group=0, word=(0,))
+        with pytest.raises(AddressError):
+            WireAddress(cave=0, side="top", group=0, word=(0,))
+
+
+class TestForwardTranslation:
+    def test_counts(self, amap, spec):
+        assert amap.wires_per_cave == 2 * spec.nanowires_per_half_cave
+        assert amap.wire_count == spec.caves_per_layer * amap.wires_per_cave
+
+    def test_first_wire_is_cave0_left_group0(self, amap):
+        addr = amap.address_of(0)
+        assert addr.cave == 0
+        assert addr.side == "left"
+        assert addr.group == 0
+
+    def test_mirror_twins_share_word_not_side(self, amap):
+        left = amap.address_of(0)
+        right = amap.address_of(amap.wires_per_cave - 1)
+        assert left.word == right.word
+        assert left.side == "left" and right.side == "right"
+        assert left.group == right.group
+
+    def test_cave_boundary(self, amap):
+        last_of_cave0 = amap.address_of(amap.wires_per_cave - 1)
+        first_of_cave1 = amap.address_of(amap.wires_per_cave)
+        assert last_of_cave0.cave == 0
+        assert first_of_cave1.cave == 1
+        assert first_of_cave1.side == "left"
+
+    def test_group_progression(self, amap, spec):
+        """With Omega = 16 and N = 20 the half cave has two groups."""
+        groups = {amap.address_of(w).group for w in range(spec.nanowires_per_half_cave)}
+        assert groups == {0, 1}
+
+    def test_out_of_range(self, amap):
+        with pytest.raises(AddressError):
+            amap.address_of(-1)
+        with pytest.raises(AddressError):
+            amap.address_of(amap.wire_count)
+
+
+class TestReverseTranslation:
+    def test_bijective_over_layer(self, amap):
+        assert amap.is_bijective()
+
+    def test_bijective_for_hot_codes(self, spec):
+        assert AddressMap(spec, make_code("HC", 2, 6)).is_bijective()
+
+    def test_bijective_for_short_codes(self, spec):
+        """Omega = 8 < N = 20: three groups per half cave, words repeat
+        across groups — (group, word) still disambiguates."""
+        assert AddressMap(spec, make_code("TC", 2, 6)).is_bijective()
+
+    def test_unknown_word_raises(self, amap):
+        bad = WireAddress(cave=0, side="left", group=0, word=(9,) * 8)
+        with pytest.raises(AddressError):
+            amap.wire_of(bad)
+
+    def test_out_of_range_fields_raise(self, amap):
+        word = amap.address_of(0).word
+        with pytest.raises(AddressError):
+            amap.wire_of(WireAddress(cave=999, side="left", group=0, word=word))
+        with pytest.raises(AddressError):
+            amap.wire_of(WireAddress(cave=0, side="left", group=99, word=word))

@@ -1,0 +1,52 @@
+"""Unit tests for repro.decoder.cave — the full mirrored-cave model."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.decoder.cave import FullCaveDecoder
+
+
+@pytest.fixture
+def cave(spec):
+    return FullCaveDecoder(spec=spec, space=make_code("BGC", 2, 8))
+
+
+class TestMirroredPatterns:
+    def test_total_wires(self, cave, spec):
+        assert cave.nanowires == 2 * spec.nanowires_per_half_cave
+
+    def test_mirror_symmetry(self, cave):
+        assert cave.twins_share_patterns()
+
+    def test_geometric_order(self, cave):
+        p = cave.mirrored_patterns()
+        half = cave.half.patterns
+        assert np.array_equal(p[: half.shape[0]], half)
+        assert np.array_equal(p[half.shape[0]:], half[::-1])
+
+    def test_twins_identical_rows(self, cave):
+        p = cave.mirrored_patterns()
+        n = p.shape[0]
+        for i in (0, 3, n // 2 - 1):
+            assert np.array_equal(p[i], p[n - 1 - i])
+
+
+class TestUniqueAddressing:
+    @pytest.mark.parametrize("family,length", [("TC", 6), ("BGC", 8), ("HC", 6)])
+    def test_sec33_claim_holds(self, spec, family, length):
+        """Half-cave uniqueness + per-half contact groups => cave-wide
+        unique addressing (the paper's Sec. 3.3 argument)."""
+        cave = FullCaveDecoder(spec=spec, space=make_code(family, 2, length))
+        assert cave.uniquely_addressable_with_groups()
+
+    def test_yield_equals_half_cave(self, cave):
+        assert cave.cave_yield == pytest.approx(cave.half.cave_yield)
+        assert cave.layer_yield() == pytest.approx(cave.cave_yield)
+
+    def test_summary_fields(self, cave):
+        s = cave.summary()
+        assert s["halves"] == 2
+        assert s["mirror_symmetric"]
+        assert s["uniquely_addressable"]
+        assert 0 < s["cave_yield"] <= 1

@@ -1,0 +1,84 @@
+"""Unit tests for repro.decoder.contact_groups."""
+
+import pytest
+
+from repro.decoder.contact_groups import (
+    GroupError,
+    geometric_survival_fraction,
+    plan_contact_groups,
+)
+from repro.fabrication.lithography import LithographyRules
+
+
+class TestPlanContactGroups:
+    def test_single_group_when_space_covers(self):
+        plan = plan_contact_groups(20, 32)
+        assert plan.group_count == 1
+        assert plan.group_sizes == (20,)
+        assert plan.internal_boundaries == 0
+
+    def test_two_balanced_groups(self):
+        plan = plan_contact_groups(20, 16)
+        assert plan.group_count == 2
+        assert plan.group_sizes == (10, 10)
+
+    def test_uneven_split_balanced(self):
+        plan = plan_contact_groups(20, 8)
+        assert plan.group_count == 3
+        assert sorted(plan.group_sizes) == [6, 7, 7]
+        assert sum(plan.group_sizes) == 20
+
+    def test_group_sizes_respect_capacity(self):
+        plan = plan_contact_groups(100, 6)
+        assert all(s <= 6 for s in plan.group_sizes)
+        assert sum(plan.group_sizes) == 100
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(GroupError):
+            plan_contact_groups(0, 8)
+        with pytest.raises(GroupError):
+            plan_contact_groups(8, 0)
+
+
+class TestBoundaryLosses:
+    def test_no_loss_single_group(self):
+        plan = plan_contact_groups(20, 32)
+        assert plan.expected_boundary_loss == 0.0
+        assert plan.survival_fraction == 1.0
+
+    def test_loss_scales_with_boundaries(self):
+        one = plan_contact_groups(20, 16)
+        two = plan_contact_groups(20, 8)
+        assert two.expected_boundary_loss > one.expected_boundary_loss
+
+    def test_survival_clamped_non_negative(self):
+        rules = LithographyRules(contact_gap_factor=10.0)
+        plan = plan_contact_groups(10, 2, rules)
+        assert plan.expected_surviving == 0.0
+        assert plan.survival_fraction == 0.0
+
+    def test_survival_fraction_formula(self):
+        rules = LithographyRules(contact_gap_factor=1.0, alignment_tolerance_nm=5.0)
+        plan = plan_contact_groups(20, 16, rules)
+        expected = (20 - 4.2) / 20
+        assert plan.survival_fraction == pytest.approx(expected)
+
+    def test_convenience_wrapper(self):
+        rules = LithographyRules()
+        assert geometric_survival_fraction(20, 16, rules) == pytest.approx(
+            plan_contact_groups(20, 16, rules).survival_fraction
+        )
+
+
+class TestContactWidths:
+    def test_minimum_width_enforced(self):
+        plan = plan_contact_groups(8, 2)  # groups of 2 wires = 20 nm < 48 nm
+        assert all(w == pytest.approx(48.0) for w in plan.contact_widths_nm())
+
+    def test_wide_groups_scale(self):
+        plan = plan_contact_groups(20, 32)
+        assert plan.contact_widths_nm()[0] == pytest.approx(200.0)
+
+    def test_contact_region_length(self):
+        plan = plan_contact_groups(20, 8)
+        assert plan.contact_region_length_nm() == pytest.approx(3 * 48.0)

@@ -1,0 +1,95 @@
+"""Unit tests for repro.decoder.decoder (HalfCaveDecoder facade)."""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.decoder.decoder import HalfCaveDecoder
+from repro.device.threshold import LevelScheme
+
+
+@pytest.fixture
+def decoder():
+    return HalfCaveDecoder(make_code("BGC", 2, 8), nanowires=20)
+
+
+class TestConstruction:
+    def test_default_scheme_matches_code_valence(self, decoder):
+        assert decoder.scheme.n == 2
+
+    def test_rejects_scheme_valence_mismatch(self):
+        with pytest.raises(ValueError):
+            HalfCaveDecoder(
+                make_code("GC", 3, 6), nanowires=10, scheme=LevelScheme(2)
+            )
+
+    def test_rejects_zero_nanowires(self):
+        with pytest.raises(ValueError):
+            HalfCaveDecoder(make_code("GC", 2, 6), nanowires=0)
+
+
+class TestDerivedMatrices:
+    def test_pattern_shape(self, decoder):
+        assert decoder.patterns.shape == (20, 8)
+
+    def test_plan_consistent(self, decoder):
+        assert decoder.plan.verify()
+        assert np.array_equal(decoder.plan.pattern, decoder.patterns)
+
+    def test_nu_and_sigma_shapes(self, decoder):
+        assert decoder.nu.shape == (20, 8)
+        assert decoder.sigma.shape == (20, 8)
+
+    def test_sigma_scaling(self, decoder):
+        assert np.allclose(decoder.sigma, decoder.sigma_t**2 * decoder.nu)
+
+    def test_sigma_norm_and_average(self, decoder):
+        assert decoder.sigma_norm == pytest.approx(decoder.sigma.sum())
+        assert decoder.average_variability == pytest.approx(
+            decoder.sigma.mean()
+        )
+
+
+class TestYieldComponents:
+    def test_wire_probabilities_bounds(self, decoder):
+        p = decoder.wire_probabilities
+        assert p.shape == (20,)
+        assert np.all(p > 0) and np.all(p <= 1)
+
+    def test_cave_yield_is_product(self, decoder):
+        assert decoder.cave_yield == pytest.approx(
+            decoder.electrical_yield * decoder.geometric_yield
+        )
+
+    def test_later_wires_more_reliable(self, decoder):
+        """nu decreases with wire index, so addressability increases."""
+        p = decoder.wire_probabilities
+        assert p[-1] > p[0]
+
+    def test_fabrication_complexity_binary(self, decoder):
+        """All binary codes: Phi = 2N (Fig. 5)."""
+        assert decoder.fabrication_complexity == 40
+
+
+class TestSummary:
+    def test_summary_round_trips_fields(self, decoder):
+        s = decoder.summary()
+        assert s["nanowires"] == 20
+        assert s["regions"] == 8
+        assert s["code_space"] == 16
+        assert s["groups"] == decoder.group_plan.group_count
+        assert s["cave_yield"] == pytest.approx(decoder.cave_yield)
+
+    def test_tighter_window_lowers_yield(self):
+        loose = HalfCaveDecoder(
+            make_code("BGC", 2, 8), 20, scheme=LevelScheme(2, window_margin=1.0)
+        )
+        tight = HalfCaveDecoder(
+            make_code("BGC", 2, 8), 20, scheme=LevelScheme(2, window_margin=0.5)
+        )
+        assert tight.cave_yield < loose.cave_yield
+
+    def test_larger_sigma_lowers_yield(self):
+        low = HalfCaveDecoder(make_code("BGC", 2, 8), 20, sigma_t=0.03)
+        high = HalfCaveDecoder(make_code("BGC", 2, 8), 20, sigma_t=0.08)
+        assert high.cave_yield < low.cave_yield

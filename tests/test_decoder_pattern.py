@@ -1,0 +1,71 @@
+"""Unit tests for repro.decoder.pattern."""
+
+import numpy as np
+import pytest
+
+from repro.codes import GrayCode, HotCode, make_code
+from repro.decoder.pattern import (
+    address_of_nanowire,
+    group_local_indices,
+    pattern_matrix,
+    pattern_uniqueness_within_groups,
+)
+
+
+class TestPatternMatrix:
+    def test_shape_reflected(self):
+        p = pattern_matrix(GrayCode(2, 4), 20)
+        assert p.shape == (20, 8)
+
+    def test_shape_unreflected(self):
+        p = pattern_matrix(HotCode(2, 3), 20)
+        assert p.shape == (20, 6)
+
+    def test_rows_cycle_through_space(self):
+        space = GrayCode(2, 2)  # 4 words
+        p = pattern_matrix(space, 10)
+        assert np.array_equal(p[0], p[4])
+        assert np.array_equal(p[1], p[9])
+
+    def test_digits_in_range(self):
+        p = pattern_matrix(make_code("GC", 3, 6), 15)
+        assert p.min() >= 0 and p.max() <= 2
+
+
+class TestAddressOfNanowire:
+    def test_matches_pattern_matrix(self):
+        space = GrayCode(2, 3)
+        p = pattern_matrix(space, 20)
+        for i in (0, 7, 8, 19):
+            assert tuple(p[i]) == address_of_nanowire(space, i)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            address_of_nanowire(GrayCode(2, 2), -1)
+
+
+class TestGroupLocalIndices:
+    def test_modular(self):
+        idx = group_local_indices(7, 3)
+        assert idx.tolist() == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            group_local_indices(5, 0)
+
+
+class TestUniquenessWithinGroups:
+    def test_full_space_groups_are_unique(self):
+        space = GrayCode(2, 3)
+        p = pattern_matrix(space, 24)  # three full groups of 8
+        assert pattern_uniqueness_within_groups(p, space.size)
+
+    def test_oversized_groups_collide(self):
+        space = GrayCode(2, 2)  # 4 words
+        p = pattern_matrix(space, 8)
+        assert not pattern_uniqueness_within_groups(p, 8)
+
+    def test_partial_last_group_ok(self):
+        space = GrayCode(2, 3)
+        p = pattern_matrix(space, 20)  # groups 8 + 8 + 4
+        assert pattern_uniqueness_within_groups(p, space.size)

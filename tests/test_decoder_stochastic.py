@@ -1,0 +1,106 @@
+"""Unit tests for repro.decoder.stochastic — the [6]/[8] baselines."""
+
+import numpy as np
+import pytest
+
+from repro.decoder.stochastic import (
+    StochasticError,
+    compare_with_deterministic,
+    expected_addressable_fraction,
+    random_contact_addressable_fraction,
+    required_code_space,
+    signature_collision_probability,
+    simulate_random_codes,
+    simulate_random_contacts,
+    unique_code_probability,
+)
+
+
+class TestRandomCodes:
+    def test_single_wire_always_unique(self):
+        assert unique_code_probability(1, 10) == 1.0
+
+    def test_formula(self):
+        assert unique_code_probability(3, 4) == pytest.approx((3 / 4) ** 2)
+
+    def test_monotone_in_code_space(self):
+        fracs = [expected_addressable_fraction(20, o) for o in (20, 50, 200, 1000)]
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+
+    def test_monotone_in_group_size(self):
+        fracs = [expected_addressable_fraction(g, 64) for g in (2, 10, 30)]
+        assert all(b < a for a, b in zip(fracs, fracs[1:]))
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(StochasticError):
+            unique_code_probability(0, 10)
+        with pytest.raises(StochasticError):
+            unique_code_probability(10, 0)
+
+    def test_monte_carlo_agrees(self, rng):
+        analytic = expected_addressable_fraction(20, 64)
+        mc = simulate_random_codes(20, 64, samples=2000, rng=rng)
+        assert mc == pytest.approx(analytic, abs=0.02)
+
+    def test_required_code_space_overprovisions(self):
+        """Stochastic addressing needs Omega >> G (paper's novelty claim)."""
+        omega = required_code_space(20, 0.95)
+        assert omega > 15 * 20  # ~372 for 95%
+        assert expected_addressable_fraction(20, omega) >= 0.95
+
+    def test_required_code_space_rejects_bad_target(self):
+        with pytest.raises(StochasticError):
+            required_code_space(20, 1.0)
+
+
+class TestRandomContacts:
+    def test_collision_probability_formula(self):
+        assert signature_collision_probability(1, 0.5) == pytest.approx(0.5)
+        assert signature_collision_probability(4, 0.5) == pytest.approx(0.5**4)
+
+    def test_biased_connections_collide_more(self):
+        fair = signature_collision_probability(8, 0.5)
+        biased = signature_collision_probability(8, 0.9)
+        assert biased > fair
+
+    def test_fraction_monotone_in_mesowires(self):
+        fracs = [
+            random_contact_addressable_fraction(20, m) for m in (2, 6, 10, 16)
+        ]
+        assert all(b > a for a, b in zip(fracs, fracs[1:]))
+
+    def test_monte_carlo_agrees(self, rng):
+        analytic = random_contact_addressable_fraction(10, 8)
+        mc = simulate_random_contacts(10, 8, samples=2000, rng=rng)
+        assert mc == pytest.approx(analytic, abs=0.02)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(StochasticError):
+            signature_collision_probability(0, 0.5)
+        with pytest.raises(StochasticError):
+            signature_collision_probability(4, 1.5)
+        with pytest.raises(StochasticError):
+            random_contact_addressable_fraction(0, 4)
+        with pytest.raises(StochasticError):
+            simulate_random_codes(5, 5, 0, np.random.default_rng(0))
+        with pytest.raises(StochasticError):
+            simulate_random_contacts(5, 5, 0, np.random.default_rng(0))
+
+
+class TestComparison:
+    def test_deterministic_wins_at_equal_size(self):
+        """The paper's argument, quantified."""
+        cmp = compare_with_deterministic(group_size=20, code_space=20, mesowires=10)
+        assert cmp.deterministic_fraction == 1.0
+        assert cmp.random_code_fraction < 0.5
+        assert cmp.random_contact_fraction < 1.0
+
+    def test_deterministic_limited_by_code_space(self):
+        cmp = compare_with_deterministic(group_size=20, code_space=10, mesowires=10)
+        assert cmp.deterministic_fraction == pytest.approx(0.5)
+
+    def test_stochastic_catches_up_with_overprovisioning(self):
+        small = compare_with_deterministic(20, 20, 10)
+        big = compare_with_deterministic(20, 2000, 10)
+        assert big.random_code_fraction > small.random_code_fraction
+        assert big.random_code_fraction > 0.99

@@ -1,0 +1,147 @@
+"""Unit tests for repro.device.physics and materials."""
+
+import numpy as np
+import pytest
+
+from repro.device.materials import (
+    EPS_OXIDE,
+    EPS_SILICON,
+    PAPER_FIT_GATE_STACK,
+    THERMAL_VOLTAGE_300K,
+    GateStack,
+)
+from repro.device.physics import (
+    DOPING_MAX,
+    DOPING_MIN,
+    DigitDopingMap,
+    PhysicsError,
+    ThresholdModel,
+    fit_gate_stack_to_paper_example,
+)
+
+
+class TestConstants:
+    def test_thermal_voltage_near_26mV(self):
+        assert 0.0255 < THERMAL_VOLTAGE_300K < 0.0262
+
+    def test_permittivities_ordered(self):
+        assert EPS_SILICON > EPS_OXIDE > 0
+
+    def test_gate_stack_capacitance(self):
+        stack = GateStack(oxide_thickness_cm=1e-7, flatband_voltage=0.0)
+        assert stack.oxide_capacitance == pytest.approx(EPS_OXIDE / 1e-7)
+
+
+class TestThresholdModel:
+    def test_vt_monotonic_in_doping(self):
+        model = ThresholdModel()
+        dopings = np.logspace(15, 20, 40)
+        vts = [model.vt_from_doping(na) for na in dopings]
+        assert all(b > a for a, b in zip(vts, vts[1:]))
+
+    def test_vt_nonlinear(self):
+        """f must be non-linear (Prop. 1 calls it 'monotonic non-linear')."""
+        model = ThresholdModel()
+        nas = [1e17, 2e17, 3e17]
+        vts = [model.vt_from_doping(na) for na in nas]
+        slope1 = (vts[1] - vts[0]) / 1e17
+        slope2 = (vts[2] - vts[1]) / 1e17
+        assert abs(slope1 - slope2) / abs(slope1) > 0.01
+
+    def test_inverse_roundtrip(self):
+        model = ThresholdModel()
+        for na in (1e16, 5e17, 2e18, 9e18, 5e19):
+            assert model.doping_from_vt(model.vt_from_doping(na)) == pytest.approx(
+                na, rel=1e-6
+            )
+
+    def test_rejects_out_of_range_doping(self):
+        model = ThresholdModel()
+        with pytest.raises(PhysicsError):
+            model.vt_from_doping(DOPING_MIN / 10)
+        with pytest.raises(PhysicsError):
+            model.vt_from_doping(DOPING_MAX * 10)
+
+    def test_rejects_out_of_range_vt(self):
+        model = ThresholdModel()
+        lo, hi = model.vt_range()
+        with pytest.raises(PhysicsError):
+            model.doping_from_vt(lo - 1.0)
+        with pytest.raises(PhysicsError):
+            model.doping_from_vt(hi + 1.0)
+
+    def test_rejects_non_positive_doping_for_fermi(self):
+        with pytest.raises(PhysicsError):
+            ThresholdModel().fermi_potential(0.0)
+
+    def test_paper_fit_matches_example_anchors(self):
+        """The default stack reproduces Example 1's end points closely."""
+        model = ThresholdModel(PAPER_FIT_GATE_STACK)
+        assert model.vt_from_doping(2e18) == pytest.approx(0.1, abs=0.02)
+        assert model.vt_from_doping(9e18) == pytest.approx(0.5, abs=0.02)
+
+    def test_paper_fit_middle_level_close(self):
+        """The middle point (0.3 V <-> 4e18) is approximate, within ~20%."""
+        model = ThresholdModel(PAPER_FIT_GATE_STACK)
+        assert model.vt_from_doping(4e18) == pytest.approx(0.3, rel=0.2)
+
+
+class TestFitGateStack:
+    def test_fit_is_exact_at_anchors(self):
+        stack = fit_gate_stack_to_paper_example()
+        model = ThresholdModel(stack)
+        assert model.vt_from_doping(2e18) == pytest.approx(0.1, abs=1e-9)
+        assert model.vt_from_doping(9e18) == pytest.approx(0.5, abs=1e-9)
+
+    def test_fit_close_to_shipped_constants(self):
+        stack = fit_gate_stack_to_paper_example()
+        assert stack.oxide_thickness_cm == pytest.approx(
+            PAPER_FIT_GATE_STACK.oxide_thickness_cm, rel=0.05
+        )
+        assert stack.flatband_voltage == pytest.approx(
+            PAPER_FIT_GATE_STACK.flatband_voltage, rel=0.05
+        )
+
+    def test_fit_rejects_degenerate_anchors(self):
+        with pytest.raises(PhysicsError):
+            fit_gate_stack_to_paper_example(vt_low=0.5, vt_high=0.1)
+
+
+class TestDigitDopingMap:
+    def test_levels_strictly_increasing(self):
+        dm = DigitDopingMap(vt_levels=(0.1, 0.3, 0.5))
+        levels = dm.doping_levels()
+        assert np.all(np.diff(levels) > 0)
+
+    def test_apply_and_invert_roundtrip(self):
+        dm = DigitDopingMap(vt_levels=(0.2, 0.5, 0.8))
+        p = np.array([[0, 1, 2], [2, 0, 1]])
+        assert np.array_equal(dm.invert(dm.apply(p)), p)
+
+    def test_apply_rejects_bad_digits(self):
+        dm = DigitDopingMap(vt_levels=(0.2, 0.8))
+        with pytest.raises(PhysicsError):
+            dm.apply(np.array([[0, 2]]))
+
+    def test_invert_rejects_off_level_values(self):
+        dm = DigitDopingMap(vt_levels=(0.2, 0.8))
+        good = dm.apply(np.array([[0, 1]]))
+        with pytest.raises(PhysicsError):
+            dm.invert(good * 1.5)
+
+    def test_digit_accessors(self):
+        dm = DigitDopingMap(vt_levels=(0.2, 0.8))
+        assert dm.vt_of_digit(1) == 0.8
+        assert dm.doping_of_digit(1) > dm.doping_of_digit(0)
+        with pytest.raises(PhysicsError):
+            dm.vt_of_digit(2)
+        with pytest.raises(PhysicsError):
+            dm.doping_of_digit(-1)
+
+    def test_requires_increasing_levels(self):
+        with pytest.raises(PhysicsError):
+            DigitDopingMap(vt_levels=(0.5, 0.2))
+
+    def test_requires_two_levels(self):
+        with pytest.raises(PhysicsError):
+            DigitDopingMap(vt_levels=(0.5,))

@@ -1,0 +1,78 @@
+"""Unit tests for repro.device.threshold."""
+
+import numpy as np
+import pytest
+
+from repro.device.threshold import LevelError, LevelScheme
+
+
+class TestLevelScheme:
+    def test_binary_default_levels(self):
+        scheme = LevelScheme(2)
+        assert scheme.levels == (0.25, 0.75)
+        assert scheme.spacing == 0.5
+        assert scheme.window_halfwidth == 0.25
+
+    def test_levels_fit_supply_range(self):
+        for n in (2, 3, 4, 8):
+            scheme = LevelScheme(n)
+            assert all(0.0 < v < 1.0 for v in scheme.levels)
+            assert len(scheme.levels) == n
+
+    def test_levels_equally_spaced(self):
+        scheme = LevelScheme(4)
+        gaps = np.diff(scheme.levels)
+        assert np.allclose(gaps, gaps[0])
+
+    def test_margin_scales_window(self):
+        full = LevelScheme(2, window_margin=1.0)
+        half = LevelScheme(2, window_margin=0.5)
+        assert half.window_halfwidth == pytest.approx(full.window_halfwidth / 2)
+
+    def test_windows_disjoint(self):
+        scheme = LevelScheme(3, window_margin=0.9)
+        w0 = scheme.window(0)
+        w1 = scheme.window(1)
+        assert w0[1] < w1[0]
+
+    def test_window_rejects_bad_digit(self):
+        with pytest.raises(LevelError):
+            LevelScheme(2).window(2)
+
+    def test_custom_supply_range(self):
+        scheme = LevelScheme(2, vt_min=0.2, vt_max=0.8)
+        assert scheme.levels == pytest.approx((0.35, 0.65))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(LevelError):
+            LevelScheme(1)
+        with pytest.raises(LevelError):
+            LevelScheme(2, vt_min=1.0, vt_max=0.5)
+        with pytest.raises(LevelError):
+            LevelScheme(2, window_margin=0.0)
+        with pytest.raises(LevelError):
+            LevelScheme(2, window_margin=1.5)
+
+
+class TestClassify:
+    def test_nominal_values_classify_to_their_digit(self):
+        scheme = LevelScheme(3)
+        vt = np.array(scheme.levels)
+        assert np.array_equal(scheme.classify(vt), np.arange(3))
+
+    def test_out_of_window_is_minus_one(self):
+        scheme = LevelScheme(2, window_margin=0.5)
+        # halfway between the levels, outside both shrunken windows
+        assert scheme.classify(np.array([0.5]))[0] == -1
+
+    def test_small_drift_stays_classified(self):
+        scheme = LevelScheme(2)
+        vt = np.array([0.25 + 0.1, 0.75 - 0.1])
+        assert np.array_equal(scheme.classify(vt), np.array([0, 1]))
+
+    def test_classify_preserves_shape(self):
+        scheme = LevelScheme(2)
+        vt = np.full((4, 5), 0.25)
+        out = scheme.classify(vt)
+        assert out.shape == (4, 5)
+        assert (out == 0).all()

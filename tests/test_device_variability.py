@@ -1,0 +1,109 @@
+"""Unit tests for repro.device.variability."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device.variability import (
+    DEFAULT_SIGMA_T,
+    compose_std,
+    region_pass_probability,
+    region_std,
+    sample_region_vt,
+    window_pass_probability,
+)
+
+
+class TestComposeStd:
+    def test_rss_of_two(self):
+        assert compose_std([3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_single_is_identity(self):
+        assert compose_std([0.05]) == pytest.approx(0.05)
+
+    def test_empty_is_zero(self):
+        assert compose_std([]) == 0.0
+
+    def test_matches_paper_rule(self):
+        """sigma' = sqrt(sigma_1^2 + sigma_2^2) (Def. 5 discussion)."""
+        s1, s2 = 0.05, 0.02
+        assert compose_std([s1, s2]) == pytest.approx(math.sqrt(s1**2 + s2**2))
+
+
+class TestRegionStd:
+    def test_scales_with_sqrt_of_doses(self):
+        nu = np.array([1.0, 4.0, 9.0])
+        out = region_std(nu, sigma_t=0.05)
+        assert np.allclose(out, [0.05, 0.10, 0.15])
+
+    def test_zero_doses_zero_std(self):
+        assert region_std(np.array([0.0]))[0] == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            region_std(np.array([-1.0]))
+
+    def test_default_sigma(self):
+        assert region_std(np.array([1.0]))[0] == pytest.approx(DEFAULT_SIGMA_T)
+
+
+class TestWindowPassProbability:
+    def test_bounds(self):
+        p = window_pass_probability(np.array([0.01, 0.05, 1.0]), 0.25)
+        assert np.all(p > 0) and np.all(p <= 1)
+
+    def test_monotone_decreasing_in_std(self):
+        stds = np.array([0.01, 0.05, 0.1, 0.5])
+        p = window_pass_probability(stds, 0.25)
+        assert np.all(np.diff(p) < 0)
+
+    def test_zero_std_passes_surely(self):
+        assert window_pass_probability(np.array([0.0]), 0.25)[0] == 1.0
+
+    def test_known_value(self):
+        """At halfwidth = std the probability is erf(1/sqrt(2)) ~ 0.6827."""
+        p = window_pass_probability(np.array([0.25]), 0.25)
+        assert p[0] == pytest.approx(0.6827, abs=1e-3)
+
+    def test_rejects_non_positive_window(self):
+        with pytest.raises(ValueError):
+            window_pass_probability(np.array([0.1]), 0.0)
+
+
+class TestRegionPassProbability:
+    def test_monotone_decreasing_in_nu(self):
+        nu = np.array([1.0, 2.0, 5.0, 20.0])
+        p = region_pass_probability(nu, 0.25)
+        assert np.all(np.diff(p) < 0)
+
+    def test_matrix_shape_preserved(self):
+        nu = np.ones((3, 4))
+        assert region_pass_probability(nu, 0.25).shape == (3, 4)
+
+
+class TestSampleRegionVt:
+    def test_deterministic_with_seed(self):
+        nominal = np.full((2, 3), 0.5)
+        nu = np.ones((2, 3))
+        a = sample_region_vt(nominal, nu, np.random.default_rng(7))
+        b = sample_region_vt(nominal, nu, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_zero_nu_is_exact(self):
+        nominal = np.full((2, 2), 0.3)
+        nu = np.zeros((2, 2))
+        out = sample_region_vt(nominal, nu, np.random.default_rng(0))
+        assert np.array_equal(out, nominal)
+
+    def test_spread_scales_with_nu(self, rng):
+        nominal = np.zeros(20000)
+        lo = sample_region_vt(nominal, np.full(20000, 1.0), rng)
+        hi = sample_region_vt(nominal, np.full(20000, 16.0), rng)
+        assert np.std(hi) == pytest.approx(4 * np.std(lo), rel=0.1)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            sample_region_vt(
+                np.zeros((2, 2)), np.ones((3, 2)), np.random.default_rng(0)
+            )

@@ -1,0 +1,78 @@
+"""Unit tests for repro.fabrication.complexity."""
+
+import numpy as np
+import pytest
+
+from repro.codes import GrayCode, TreeCode, make_code
+from repro.fabrication.complexity import (
+    code_complexity,
+    distinct_nonzero_count,
+    fabrication_complexity,
+    plan_complexity,
+    step_complexities,
+)
+from repro.fabrication.doping import DopingPlan
+
+
+class TestDistinctNonzeroCount:
+    def test_paper_example3_rows(self):
+        assert distinct_nonzero_count(np.array([0, -5, 0, 2])) == 2
+        assert distinct_nonzero_count(np.array([-2, 7, 5, -7])) == 4
+        assert distinct_nonzero_count(np.array([4, 2, 4, 9])) == 3
+
+    def test_all_zero_row(self):
+        assert distinct_nonzero_count(np.zeros(4)) == 0
+
+    def test_repeated_values_counted_once(self):
+        assert distinct_nonzero_count(np.array([3.0, 3.0, 3.0])) == 1
+
+    def test_tolerance_merges_near_equal(self):
+        row = np.array([1.0, 1.0 + 1e-12, 2.0])
+        assert distinct_nonzero_count(row) == 2
+
+    def test_tolerance_respects_scale(self):
+        row = np.array([1e18, 1e18 * (1 + 1e-12), 2e18])
+        assert distinct_nonzero_count(row) == 2
+
+    def test_sign_matters(self):
+        assert distinct_nonzero_count(np.array([5.0, -5.0])) == 2
+
+
+class TestStepComplexities:
+    def test_paper_example3(self, paper_map, example1_pattern):
+        plan = DopingPlan.from_pattern(example1_pattern, paper_map)
+        phi = step_complexities(plan.steps)
+        assert phi.tolist() == [2, 4, 3]
+        assert fabrication_complexity(plan.steps) == 9
+
+    def test_paper_example6_gray(self, paper_map, example5_pattern):
+        plan = DopingPlan.from_pattern(example5_pattern, paper_map)
+        phi = step_complexities(plan.steps)
+        assert phi.tolist() == [2, 2, 3]
+        assert fabrication_complexity(plan.steps) == 7
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            step_complexities(np.zeros(3))
+
+
+class TestPlanAndCodeComplexity:
+    def test_plan_complexity_matches_function(self, paper_map, example1_pattern):
+        plan = DopingPlan.from_pattern(example1_pattern, paper_map)
+        assert plan_complexity(plan) == fabrication_complexity(plan.steps)
+
+    def test_binary_codes_cost_two_per_nanowire(self):
+        """Fig. 5: Phi constant = 2N for all binary codes (reflection)."""
+        for family in ("TC", "GC", "BGC"):
+            space = make_code(family, 2, 8)
+            assert code_complexity(space, 10) == 20
+
+    def test_ternary_gray_beats_ternary_tree(self):
+        """Fig. 5: GC cancels the higher-valence overhead (17% claim)."""
+        tc = code_complexity(TreeCode(3, 3), 10)
+        gc = code_complexity(GrayCode(3, 3), 10)
+        assert gc < tc
+
+    def test_complexity_grows_with_nanowires(self):
+        space = make_code("GC", 2, 8)
+        assert code_complexity(space, 20) > code_complexity(space, 10)

@@ -1,0 +1,123 @@
+"""Unit tests for repro.fabrication.doping."""
+
+import numpy as np
+import pytest
+
+from repro.codes import GrayCode, HotCode, make_code
+from repro.fabrication.doping import (
+    DopingError,
+    DopingPlan,
+    accumulate_doses,
+    default_digit_map,
+    final_doping_matrix,
+    step_doping_matrix,
+    validate_pattern_matrix,
+)
+
+
+class TestValidatePatternMatrix:
+    def test_accepts_integer_matrix(self):
+        p = validate_pattern_matrix(np.array([[0, 1], [1, 0]]), 2)
+        assert p.dtype.kind == "i"
+
+    def test_accepts_integral_floats(self):
+        p = validate_pattern_matrix(np.array([[0.0, 1.0]]), 2)
+        assert p.dtype.kind == "i"
+
+    def test_rejects_fractional(self):
+        with pytest.raises(DopingError):
+            validate_pattern_matrix(np.array([[0.5]]), 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(DopingError):
+            validate_pattern_matrix(np.array([[0, 2]]), 2)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DopingError):
+            validate_pattern_matrix(np.array([0, 1]), 2)
+
+
+class TestStepDopingMatrix:
+    def test_paper_example2(self, paper_map, example1_pattern):
+        d = final_doping_matrix(example1_pattern, paper_map)
+        s = step_doping_matrix(d)
+        expected = np.array(
+            [[0, -5, 0, 2], [-2, 7, 5, -7], [4, 2, 4, 9]], dtype=float
+        )
+        assert np.allclose(s, expected)
+
+    def test_last_row_equals_final(self):
+        d = np.array([[1.0, 2.0], [3.0, 4.0]])
+        s = step_doping_matrix(d)
+        assert np.allclose(s[-1], d[-1])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DopingError):
+            step_doping_matrix(np.array([1.0, 2.0]))
+
+
+class TestAccumulateDoses:
+    def test_inverse_of_step_matrix(self, rng):
+        d = rng.uniform(1, 10, size=(6, 5))
+        assert np.allclose(accumulate_doses(step_doping_matrix(d)), d)
+
+    def test_paper_proposition2(self, paper_map, example1_pattern):
+        d = final_doping_matrix(example1_pattern, paper_map)
+        s = step_doping_matrix(d)
+        assert np.allclose(accumulate_doses(s), d)
+
+    def test_single_row(self):
+        s = np.array([[2.0, 3.0]])
+        assert np.allclose(accumulate_doses(s), s)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DopingError):
+            accumulate_doses(np.array([1.0]))
+
+
+class TestDefaultDigitMap:
+    def test_levels_match_scheme(self):
+        dm = default_digit_map(3)
+        assert dm.n == 3
+        assert len(dm.vt_levels) == 3
+
+    def test_rejects_mismatched_scheme(self):
+        from repro.device.threshold import LevelScheme
+
+        with pytest.raises(DopingError):
+            default_digit_map(3, LevelScheme(2))
+
+
+class TestDopingPlan:
+    def test_from_pattern_shapes(self, paper_map, example1_pattern):
+        plan = DopingPlan.from_pattern(example1_pattern, paper_map)
+        assert plan.nanowires == 3
+        assert plan.regions == 4
+        assert plan.pattern.shape == plan.final.shape == plan.steps.shape
+
+    def test_verify_holds(self, paper_map, example1_pattern):
+        assert DopingPlan.from_pattern(example1_pattern, paper_map).verify()
+
+    def test_from_code_applies_reflection(self):
+        plan = DopingPlan.from_code(GrayCode(2, 3), 10)
+        assert plan.regions == 6  # reflected: 2 * 3
+
+    def test_from_code_hot_unreflected(self):
+        plan = DopingPlan.from_code(HotCode(2, 3), 10)
+        assert plan.regions == 6  # M = k * n, no reflection
+
+    def test_from_code_cycles_beyond_space(self):
+        plan = DopingPlan.from_code(GrayCode(2, 2), 10)
+        assert plan.nanowires == 10
+        assert np.array_equal(plan.pattern[0], plan.pattern[4])
+
+    def test_nominal_vt_uses_levels(self):
+        plan = DopingPlan.from_code(make_code("TC", 2, 6), 4)
+        vt = plan.nominal_vt()
+        assert set(np.unique(vt)) <= {0.25, 0.75}
+
+    def test_doping_levels_positive_and_increasing(self):
+        plan = DopingPlan.from_code(make_code("TC", 2, 6), 4)
+        levels = plan.digit_map.doping_levels()
+        assert np.all(levels > 0)
+        assert np.all(np.diff(levels) > 0)

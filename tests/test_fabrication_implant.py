@@ -1,0 +1,122 @@
+"""Unit tests for repro.device.implant — implantation planning."""
+
+import numpy as np
+import pytest
+
+from repro.codes import GrayCode
+from repro.fabrication.implant import (
+    ENERGY_MAX_KEV,
+    ImplantError,
+    ImplantPlanner,
+    ImplantSetting,
+    energy_for_range,
+    projected_range_nm,
+)
+from repro.fabrication.doping import DopingPlan
+from repro.fabrication.process_flow import DopingEvent, ProcessFlow
+
+
+class TestRangeFits:
+    def test_range_monotone_in_energy(self):
+        for species in ("boron", "phosphorus"):
+            ranges = [projected_range_nm(species, e) for e in (5, 20, 80)]
+            assert ranges[0] < ranges[1] < ranges[2]
+
+    def test_boron_ranges_deeper_than_phosphorus(self):
+        """Lighter ions penetrate further at equal energy."""
+        assert projected_range_nm("boron", 30) > projected_range_nm(
+            "phosphorus", 30
+        )
+
+    def test_energy_range_roundtrip(self):
+        for species in ("boron", "phosphorus"):
+            for energy in (5.0, 30.0, 120.0):
+                rp = projected_range_nm(species, energy)
+                assert energy_for_range(species, rp) == pytest.approx(energy)
+
+    def test_plausible_magnitudes(self):
+        """B at 10 keV lands a few tens of nm deep (textbook value)."""
+        assert 20 < projected_range_nm("boron", 10) < 60
+
+    def test_rejects_unknown_species(self):
+        with pytest.raises(ImplantError):
+            projected_range_nm("argon", 10)
+
+    def test_rejects_out_of_window(self):
+        with pytest.raises(ImplantError):
+            projected_range_nm("boron", ENERGY_MAX_KEV * 2)
+        with pytest.raises(ImplantError):
+            energy_for_range("boron", 1e6)
+        with pytest.raises(ImplantError):
+            energy_for_range("boron", -1)
+
+
+class TestPlanner:
+    @pytest.fixture
+    def planner(self):
+        return ImplantPlanner()
+
+    def test_species_follows_sign(self, planner):
+        assert planner.species_for(1e18) == "boron"
+        assert planner.species_for(-1e18) == "phosphorus"
+        with pytest.raises(ImplantError):
+            planner.species_for(0.0)
+
+    def test_setting_closes_the_loop(self, planner):
+        event = DopingEvent(step=0, dose=3e18, regions=(1, 4))
+        setting = planner.setting_for(event)
+        assert planner.delivered_concentration(setting) == pytest.approx(3e18)
+        assert setting.regions == (1, 4)
+
+    def test_negative_dose_closes_the_loop(self, planner):
+        event = DopingEvent(step=1, dose=-2e18, regions=(0,))
+        setting = planner.setting_for(event)
+        assert setting.species == "phosphorus"
+        assert planner.delivered_concentration(setting) == pytest.approx(-2e18)
+
+    def test_light_dose_splitting(self, planner):
+        hot = DopingEvent(step=0, dose=5e19, regions=(0,))
+        setting = planner.setting_for(hot)
+        assert setting.passes > 1
+        assert setting.dose_per_pass_cm2 <= planner.max_dose_per_pass_cm2
+
+    def test_energy_targets_mid_depth(self, planner):
+        event = DopingEvent(step=0, dose=1e18, regions=(0,))
+        setting = planner.setting_for(event)
+        rp = projected_range_nm(setting.species, setting.energy_kev)
+        assert rp == pytest.approx(planner.doped_depth_nm / 2.0, rel=1e-6)
+
+    def test_plan_covers_every_doping_event(self, planner):
+        plan = DopingPlan.from_code(GrayCode(2, 3), 10)
+        settings = planner.plan(plan)
+        flow = ProcessFlow.from_plan(plan)
+        assert len(settings) == flow.doping_event_count
+
+    def test_planned_settings_reproduce_doses(self, planner):
+        plan = DopingPlan.from_code(GrayCode(2, 3), 8)
+        flow = ProcessFlow.from_plan(plan)
+        events = [e for e in flow.events if isinstance(e, DopingEvent)]
+        for event, setting in zip(events, planner.plan(plan)):
+            assert planner.delivered_concentration(setting) == pytest.approx(
+                event.dose
+            )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ImplantError):
+            ImplantPlanner(doped_depth_nm=0)
+        with pytest.raises(ImplantError):
+            ImplantPlanner(activation=0)
+        with pytest.raises(ImplantError):
+            ImplantPlanner(max_dose_per_pass_cm2=-1)
+
+
+class TestImplantSetting:
+    def test_total_dose(self):
+        setting = ImplantSetting(
+            species="boron",
+            energy_kev=10.0,
+            dose_per_pass_cm2=1e13,
+            passes=3,
+            regions=(0,),
+        )
+        assert setting.total_dose_cm2 == pytest.approx(3e13)

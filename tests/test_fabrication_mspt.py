@@ -1,0 +1,113 @@
+"""Unit tests for repro.fabrication.mspt and lithography rules."""
+
+import pytest
+
+from repro.fabrication.lithography import LithographyRules
+from repro.fabrication.mspt import (
+    CaveGeometry,
+    MSPTProcess,
+    ProcessError,
+    SpacerRecipe,
+)
+
+
+class TestLithographyRules:
+    def test_paper_defaults(self):
+        rules = LithographyRules()
+        assert rules.litho_pitch_nm == 32.0
+        assert rules.nanowire_pitch_nm == 10.0
+        assert rules.min_contact_width_nm == pytest.approx(48.0)
+
+    def test_min_contact_span(self):
+        rules = LithographyRules()
+        assert rules.min_contact_span_nanowires == 4  # floor(48 / 10)
+
+    def test_contact_width_covers_group(self):
+        rules = LithographyRules()
+        assert rules.contact_width_nm(10) == pytest.approx(100.0)
+        assert rules.contact_width_nm(2) == pytest.approx(48.0)  # min width
+
+    def test_contact_width_rejects_bad_group(self):
+        with pytest.raises(ValueError):
+            LithographyRules().contact_width_nm(0)
+
+    def test_boundary_loss(self):
+        rules = LithographyRules(contact_gap_factor=1.0, alignment_tolerance_nm=5.0)
+        # (32 + 2*5) / 10 = 4.2 nanowires per boundary
+        assert rules.boundary_loss_nanowires() == pytest.approx(4.2)
+
+    def test_rejects_inconsistent_pitches(self):
+        with pytest.raises(ValueError):
+            LithographyRules(litho_pitch_nm=5.0, nanowire_pitch_nm=10.0)
+
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            LithographyRules(alignment_tolerance_nm=-1.0)
+
+
+class TestSpacerRecipe:
+    def test_pitch_is_sum_of_thicknesses(self):
+        recipe = SpacerRecipe(poly_thickness_nm=6, oxide_thickness_nm=4)
+        assert recipe.pitch_nm == 10
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ProcessError):
+            SpacerRecipe(poly_thickness_nm=0)
+
+
+class TestCaveGeometry:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ProcessError):
+            CaveGeometry(width_nm=0)
+
+
+class TestMSPTProcess:
+    def test_capacity(self):
+        process = MSPTProcess()
+        cave = CaveGeometry(width_nm=400)
+        assert process.max_spacers_per_half_cave(cave) == 20
+
+    def test_cave_for_roundtrip(self):
+        process = MSPTProcess()
+        cave = process.cave_for(15)
+        assert process.max_spacers_per_half_cave(cave) == 15
+
+    def test_run_produces_pairs(self):
+        process = MSPTProcess()
+        array = process.run(process.cave_for(8), 8)
+        assert array.half_cave_count == 8
+        assert len(array.spacers) == 16  # both sides
+
+    def test_symmetry(self):
+        process = MSPTProcess()
+        array = process.fabricate_half_cave(12)
+        assert array.is_symmetric()
+
+    def test_half_cave_ordering(self):
+        process = MSPTProcess()
+        array = process.fabricate_half_cave(5)
+        left = array.half_cave("left")
+        assert [s.index for s in left] == list(range(5))
+        # first-defined spacer is nearest the cave wall
+        assert left[0].left_nm < left[1].left_nm
+
+    def test_half_cave_rejects_bad_side(self):
+        array = MSPTProcess().fabricate_half_cave(3)
+        with pytest.raises(ProcessError):
+            array.half_cave("top")
+
+    def test_run_rejects_overfill(self):
+        process = MSPTProcess()
+        cave = process.cave_for(5)
+        with pytest.raises(ProcessError):
+            process.run(cave, 6)
+
+    def test_run_rejects_zero_iterations(self):
+        process = MSPTProcess()
+        with pytest.raises(ProcessError):
+            process.run(process.cave_for(5), 0)
+
+    def test_pitch_independent_of_cave(self):
+        process = MSPTProcess(recipe=SpacerRecipe(7, 5))
+        array = process.fabricate_half_cave(4)
+        assert array.pitch_nm == 12

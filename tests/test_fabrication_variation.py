@@ -1,0 +1,101 @@
+"""Unit tests for repro.fabrication.variation — MSPT process variation."""
+
+import numpy as np
+import pytest
+
+from repro.fabrication.mspt import SpacerRecipe
+from repro.fabrication.variation import (
+    ProcessVariation,
+    VariationError,
+    estimate_position_sigma,
+    sample_spacer_geometry,
+)
+
+
+@pytest.fixture
+def recipe():
+    return SpacerRecipe(poly_thickness_nm=6, oxide_thickness_nm=4)
+
+
+@pytest.fixture
+def variation():
+    return ProcessVariation(
+        poly_thickness_sigma_nm=0.3, oxide_thickness_sigma_nm=0.3
+    )
+
+
+class TestProcessVariation:
+    def test_pitch_sigma_is_rss(self, variation):
+        assert variation.pitch_sigma_nm == pytest.approx(
+            np.hypot(0.3, 0.3)
+        )
+
+    def test_position_sigma_grows_like_random_walk(self, variation):
+        sigmas = [variation.position_sigma_nm(i) for i in (0, 5, 20)]
+        assert sigmas[0] < sigmas[1] < sigmas[2]
+        # random walk: sigma ~ sqrt(i)
+        assert sigmas[2] / sigmas[1] == pytest.approx(
+            np.sqrt(20 / 5), rel=0.15
+        )
+
+    def test_first_spacer_only_own_half_width_error(self, variation):
+        assert variation.position_sigma_nm(0) == pytest.approx(0.15)
+
+    def test_suggested_tolerance_near_calibrated_default(self, variation):
+        """0.3 nm/layer control at N = 20 suggests ~5.8 nm at 3 sigma —
+        consistent with the 5 nm lithography-rule default."""
+        tol = variation.suggested_alignment_tolerance_nm(20)
+        assert 4.0 < tol < 8.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(VariationError):
+            ProcessVariation(poly_thickness_sigma_nm=-1)
+        with pytest.raises(VariationError):
+            ProcessVariation(break_probability=1.0)
+        with pytest.raises(VariationError):
+            ProcessVariation().position_sigma_nm(-1)
+        with pytest.raises(VariationError):
+            ProcessVariation().suggested_alignment_tolerance_nm(20, k_sigma=0)
+
+
+class TestSampleSpacerGeometry:
+    def test_nominal_geometry_when_sigma_zero(self, recipe, rng):
+        quiet = ProcessVariation(0.0, 0.0)
+        geo = sample_spacer_geometry(recipe, quiet, 5, rng)
+        assert np.allclose(geo["left_nm"], [0, 10, 20, 30, 40])
+        assert np.allclose(geo["width_nm"], 6.0)
+        assert not geo["broken"].any()
+
+    def test_positions_increase(self, recipe, variation, rng):
+        geo = sample_spacer_geometry(recipe, variation, 20, rng)
+        assert (np.diff(geo["left_nm"]) > 0).all()
+
+    def test_break_probability_applied(self, recipe, rng):
+        fragile = ProcessVariation(0.1, 0.1, break_probability=0.5)
+        broken = sample_spacer_geometry(recipe, fragile, 2000, rng)["broken"]
+        assert broken.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_oversized_sigma_raises(self, recipe, rng):
+        wild = ProcessVariation(5.0, 5.0)
+        with pytest.raises(VariationError):
+            for _ in range(50):
+                sample_spacer_geometry(recipe, wild, 50, rng)
+
+    def test_rejects_zero_wires(self, recipe, variation, rng):
+        with pytest.raises(VariationError):
+            sample_spacer_geometry(recipe, variation, 0, rng)
+
+
+class TestEstimatePositionSigma:
+    def test_matches_closed_form(self, recipe, variation, rng):
+        estimated = estimate_position_sigma(
+            recipe, variation, nanowires=15, samples=1500, rng=rng
+        )
+        analytic = np.array(
+            [variation.position_sigma_nm(i) for i in range(15)]
+        )
+        assert np.allclose(estimated, analytic, rtol=0.12)
+
+    def test_requires_samples(self, recipe, variation, rng):
+        with pytest.raises(VariationError):
+            estimate_position_sigma(recipe, variation, 5, 1, rng)

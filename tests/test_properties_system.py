@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) across the fabrication/decoder stack.
+
+These exercise the paper's structural invariants on *arbitrary* pattern
+matrices, not just code-derived ones — the strongest form of the
+Prop. 2 / Def. 4 / Def. 5 relationships.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.decoder.variability import dose_count_matrix, variability_matrix
+from repro.fabrication.complexity import step_complexities
+from repro.fabrication.doping import (
+    DopingPlan,
+    accumulate_doses,
+    default_digit_map,
+    step_doping_matrix,
+)
+
+
+@st.composite
+def pattern_matrices(draw):
+    n = draw(st.integers(2, 4))
+    rows = draw(st.integers(1, 12))
+    cols = draw(st.integers(1, 8))
+    p = draw(
+        arrays(dtype=np.int64, shape=(rows, cols), elements=st.integers(0, n - 1))
+    )
+    return p, n
+
+
+@given(pattern_matrices())
+@settings(max_examples=40, deadline=None)
+def test_prop2_suffix_sum_roundtrip(data):
+    """D -> S -> D is the identity for any pattern matrix."""
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    assert np.allclose(accumulate_doses(plan.steps), plan.final)
+
+
+@given(pattern_matrices())
+@settings(max_examples=40, deadline=None)
+def test_nu_last_row_all_ones(data):
+    """The last-defined nanowire receives exactly one dose per region."""
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    nu = dose_count_matrix(plan.steps)
+    assert (nu[-1] == 1).all()
+
+
+@given(pattern_matrices())
+@settings(max_examples=40, deadline=None)
+def test_nu_monotone_and_bounded(data):
+    """nu decreases (weakly) with wire index and is bounded by N - i."""
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    nu = dose_count_matrix(plan.steps)
+    rows = p.shape[0]
+    assert (np.diff(nu, axis=0) <= 0).all()
+    for i in range(rows):
+        assert (nu[i] >= 1).all()
+        assert (nu[i] <= rows - i).all()
+
+
+@given(pattern_matrices())
+@settings(max_examples=40, deadline=None)
+def test_nu_counts_pattern_transitions(data):
+    """nu[i,j] = 1 + transitions of digit j below row i (Prop. 4 proof)."""
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    nu = dose_count_matrix(plan.steps)
+    rows, cols = p.shape
+    for j in range(cols):
+        transitions = 0
+        for i in range(rows - 2, -1, -1):
+            if p[i, j] != p[i + 1, j]:
+                transitions += 1
+            assert nu[i, j] == 1 + transitions
+
+
+@given(pattern_matrices())
+@settings(max_examples=40, deadline=None)
+def test_phi_bounded_by_distinct_levels(data):
+    """phi_i can never exceed the number of distinct possible doses."""
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    phi = step_complexities(plan.steps)
+    max_doses = n * n  # level-pair differences incl. initial doping
+    assert (phi >= 0).all()
+    assert (phi <= min(p.shape[1], max_doses)).all()
+
+
+@given(pattern_matrices(), st.floats(0.01, 0.2))
+@settings(max_examples=30, deadline=None)
+def test_sigma_scales_quadratically(data, sigma_t):
+    p, n = data
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    nu = dose_count_matrix(plan.steps)
+    sigma = variability_matrix(nu, sigma_t)
+    assert np.allclose(sigma, sigma_t**2 * nu)
+
+
+@given(st.integers(2, 3), st.integers(1, 3), st.integers(1, 25))
+@settings(max_examples=30, deadline=None)
+def test_identical_adjacent_rows_add_no_variance(n, m, rows):
+    """A wire repeating its predecessor's pattern adds zero new doses...
+
+    ...to the predecessor (the S row is all zero), which is the
+    mechanism behind Gray-code optimality.
+    """
+    word = tuple((i * 7) % n for i in range(m))
+    p = np.array([word] * max(2, rows))
+    plan = DopingPlan.from_pattern(p, default_digit_map(n))
+    s = plan.steps
+    assert np.allclose(s[:-1], 0.0)
+    nu = dose_count_matrix(s)
+    assert (nu == 1).all()

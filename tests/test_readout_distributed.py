@@ -1,0 +1,125 @@
+"""Unit tests for wire resistance and the distributed read-out solver."""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.readout import ReadoutError, ReadoutModel
+from repro.crossbar.readout_distributed import DistributedReadout
+from repro.device.resistance import (
+    NanowireGeometry,
+    ResistanceError,
+    carrier_mobility,
+    resistivity_ohm_cm,
+    segment_resistance_ohm,
+    wire_resistance_ohm,
+)
+
+
+class TestResistivity:
+    def test_mobility_decreases_with_doping(self):
+        mobilities = [carrier_mobility(n) for n in (1e16, 1e18, 1e20)]
+        assert mobilities[0] > mobilities[1] > mobilities[2]
+
+    def test_resistivity_decreases_with_doping(self):
+        rhos = [resistivity_ohm_cm(n) for n in (1e17, 1e18, 1e19)]
+        assert rhos[0] > rhos[1] > rhos[2]
+
+    def test_poly_more_resistive_than_crystal(self):
+        assert resistivity_ohm_cm(1e18, poly=True) > resistivity_ohm_cm(
+            1e18, poly=False
+        )
+
+    def test_textbook_magnitude(self):
+        """Single-crystal Si at 1e18 cm^-3 p-type: ~0.05 ohm cm."""
+        rho = resistivity_ohm_cm(1e18, poly=False)
+        assert 0.02 < rho < 0.2
+
+    def test_rejects_bad_doping(self):
+        with pytest.raises(ResistanceError):
+            carrier_mobility(0)
+
+
+class TestWireResistance:
+    def test_paper_geometry_is_resistive(self):
+        """6 nm x 300 nm x 10 um poly wire at decoder dopings: the wire
+        itself is tens of kilo-ohms — not negligible vs R_on."""
+        geometry = NanowireGeometry()
+        r = wire_resistance_ohm(geometry, 5e18)
+        assert 1e4 < r < 1e7
+
+    def test_scaling_with_length(self):
+        short = wire_resistance_ohm(NanowireGeometry(length_um=5), 1e18)
+        long = wire_resistance_ohm(NanowireGeometry(length_um=20), 1e18)
+        assert long == pytest.approx(4 * short)
+
+    def test_segment_resistance_division(self):
+        geometry = NanowireGeometry()
+        total = wire_resistance_ohm(geometry, 1e18)
+        per_cell = segment_resistance_ohm(geometry, 1e18, 40)
+        assert per_cell == pytest.approx(total / 40)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ResistanceError):
+            NanowireGeometry(width_nm=0)
+        with pytest.raises(ResistanceError):
+            segment_resistance_ohm(NanowireGeometry(), 1e18, 0)
+
+
+class TestDistributedReadout:
+    def test_zero_resistance_limit_matches_ideal(self):
+        """With ideal lines the distributed solver reproduces the
+        single-node solver."""
+        ideal = ReadoutModel()
+        dist = DistributedReadout(
+            base=ideal, row_segment_ohm=0.0, col_segment_ohm=0.0
+        )
+        states = np.zeros((6, 6), dtype=bool)
+        states[2, 3] = True
+        a = ideal.read_current(states, 2, 3)
+        b = dist.read_current(states, 2, 3)
+        assert b == pytest.approx(a, rel=1e-3)
+
+    def test_line_resistance_lowers_current(self):
+        states = np.ones((8, 8), dtype=bool)
+        ideal = DistributedReadout(row_segment_ohm=0.0, col_segment_ohm=0.0)
+        lossy = DistributedReadout(row_segment_ohm=500.0, col_segment_ohm=500.0)
+        assert lossy.read_current(states, 7, 7) < ideal.read_current(
+            states, 7, 7
+        )
+
+    def test_ir_drop_gradient_along_diagonal(self):
+        """Far-corner cells read lower — the position dependence the
+        ideal solver cannot express."""
+        dist = DistributedReadout(row_segment_ohm=500.0, col_segment_ohm=500.0)
+        sweep = dist.position_sweep(10)
+        currents = [i for _, i in sweep]
+        assert currents[0] > currents[-1]
+
+    def test_position_independent_when_ideal(self):
+        dist = DistributedReadout(row_segment_ohm=0.0, col_segment_ohm=0.0)
+        sweep = dist.position_sweep(8)
+        currents = [i for _, i in sweep]
+        assert max(currents) - min(currents) < 1e-3 * max(currents)
+
+    def test_worst_case_margin_below_ideal(self):
+        ideal = ReadoutModel()
+        lossy = DistributedReadout(row_segment_ohm=300.0, col_segment_ohm=300.0)
+        assert lossy.worst_case_margin(8) < ideal.sense_margin(8, 8) + 1e-9
+
+    def test_margin_positive_for_cave_banks(self):
+        from repro.device.resistance import NanowireGeometry
+
+        seg = segment_resistance_ohm(NanowireGeometry(), 5e18, 20)
+        dist = DistributedReadout(
+            row_segment_ohm=seg, col_segment_ohm=seg
+        )
+        assert dist.worst_case_margin(20) > 0
+
+    def test_rejects_negative_segments(self):
+        with pytest.raises(ReadoutError):
+            DistributedReadout(row_segment_ohm=-1.0)
+
+    def test_selection_bounds(self):
+        dist = DistributedReadout()
+        with pytest.raises(ReadoutError):
+            dist.read_current(np.ones((3, 3), bool), 5, 0)
