@@ -9,8 +9,12 @@ Paper findings the regenerated series must show:
 * at fixed length the optimised codes (BGC, AHC) beat TC, HC.
 """
 
+import pytest
+
 from repro.analysis.figures import fig7_crossbar_yield
 from repro.analysis.report import render_table
+from repro.codes import make_code
+from repro.sim import simulate_cave_yield_batched
 
 
 def test_fig7_yield(benchmark, emit, spec):
@@ -40,3 +44,33 @@ def test_fig7_yield(benchmark, emit, spec):
     for length in (4, 6, 8):
         assert ahc[length] > hc[length]            # AHC beats HC everywhere
     assert hc[6] > 2 * hc[4]                       # hot-code jump at Omega >= N
+
+
+def test_fig7_points_match_batched_montecarlo(emit, spec):
+    """Spot-check Fig. 7 curve points against the batched sim engine.
+
+    The analytic curve is what the figure plots; the engine's 20k-trial
+    estimates must land on it within a few standard errors.
+    """
+    rows = []
+    curves = fig7_crossbar_yield(spec)
+    for family, length in [("TC", 8), ("BGC", 10), ("AHC", 6)]:
+        code = make_code(family, 2, length)
+        analytic = dict(curves[family])[length]
+        mc = simulate_cave_yield_batched(spec, code, samples=20_000, seed=29)
+        rows.append(
+            [
+                f"{family}/{length}",
+                f"{100 * analytic:.1f}%",
+                f"{100 * mc.mean_cave_yield:.1f}%",
+                f"{100 * mc.stderr:.2f}%",
+            ]
+        )
+        assert mc.mean_cave_yield == pytest.approx(
+            analytic, abs=max(0.015, 5 * mc.stderr)
+        ), f"{family}/{length} off the analytic curve"
+    emit(
+        "fig7_yield_mc",
+        "Fig. 7 points vs batched Monte-Carlo (20k trials)\n"
+        + render_table(["design", "analytic", "MC mean", "MC stderr"], rows),
+    )

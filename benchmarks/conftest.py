@@ -3,11 +3,15 @@
 Every bench regenerates one paper artefact (figure or headline claim),
 times the underlying computation with pytest-benchmark, and writes the
 regenerated rows/series both to stdout and to ``benchmarks/output/`` so
-EXPERIMENTS.md can quote them verbatim.
+EXPERIMENTS.md can quote them verbatim.  Machine-readable numbers
+(throughputs, speedups) additionally go to ``BENCH_<name>.json`` files
+via the ``emit_json`` fixture, so scripts like ``run_checks.sh`` can
+diff them across commits.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -34,3 +38,17 @@ def emit():
         print(f"\n=== {name} ===\n{text}")
 
     return _emit
+
+
+@pytest.fixture(scope="session")
+def emit_json():
+    """Write a machine-readable report to benchmarks/output/BENCH_<name>.json."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _emit_json(name: str, payload: dict) -> Path:
+        path = OUTPUT_DIR / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n=== BENCH_{name}.json ===\n{json.dumps(payload, indent=2, sort_keys=True)}")
+        return path
+
+    return _emit_json

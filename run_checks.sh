@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# One-command verification: tier-1 test suite + sim-engine perf smoke.
+#
+# Mirrors the one-command reproducibility style of the related
+# artifacts (run_all_evals.sh et al.): a fresh checkout should pass
+# this script and leave the regenerated numbers in benchmarks/output/.
+#
+#   ./run_checks.sh          # tests + small-budget perf smoke
+#   FULL_BENCH=1 ./run_checks.sh   # also the full 100k-trial speedup gate
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo
+echo "== sim-engine perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: both sides at 100k trials, >= 20x
+    python -m pytest -q benchmarks/bench_sim_engine.py
+else
+    # small trial budget: checks the plumbing and records throughput,
+    # with a loose speedup floor so container noise cannot flake it
+    SIM_BENCH_TRIALS=20000 SIM_BENCH_LOOP_TRIALS=2000 \
+    SIM_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_sim_engine.py
+fi
+
+echo
+echo "ok — reports in benchmarks/output/"

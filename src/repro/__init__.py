@@ -14,6 +14,9 @@ The library models the full MSPT decoder stack:
   half cave, plus contact-group geometry;
 * ``repro.crossbar`` — the 16 kB crossbar platform: yield, area,
   Monte-Carlo validation and a defect-aware memory;
+* ``repro.sim`` — the batched Monte-Carlo engine: chunked,
+  stream-reproducible evaluation of all stochastic models on a
+  leading trial axis;
 * ``repro.analysis`` — figure data generators and headline statistics;
 * ``repro.core`` — the high-level :class:`DecoderDesign` API, design
   optimisation and executable theorem checks.
@@ -46,6 +49,11 @@ from repro.crossbar import (
 )
 from repro.decoder import HalfCaveDecoder
 from repro.fabrication import DopingPlan, ProcessFlow, fabrication_complexity
+from repro.sim import (
+    MonteCarloEngine,
+    StreamingMoments,
+    simulate_cave_yield_batched,
+)
 
 __version__ = "1.0.0"
 
@@ -60,7 +68,9 @@ __all__ = [
     "GrayCode",
     "HalfCaveDecoder",
     "HotCode",
+    "MonteCarloEngine",
     "ProcessFlow",
+    "StreamingMoments",
     "TreeCode",
     "__version__",
     "crossbar_yield",
@@ -71,4 +81,5 @@ __all__ = [
     "optimize_design",
     "sample_defect_map",
     "simulate_cave_yield",
+    "simulate_cave_yield_batched",
 ]

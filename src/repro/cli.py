@@ -86,8 +86,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
     p.add_argument("-M", "--length", type=int, required=True)
     p.add_argument("-n", "--valence", type=int, default=2)
-    p.add_argument("--samples", type=int, default=300)
+    p.add_argument("--samples", type=int, default=300,
+                   help="Monte-Carlo trials (batched engine scales to "
+                        "millions; default 300)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chunk-size", type=int, default=65536,
+                   help="max trials held in memory at once (default 65536; "
+                        "does not change results)")
+    p.add_argument("--method", default="batched", choices=["batched", "loop"],
+                   help="batched sim engine (default) or the legacy "
+                        "per-trial reference loop")
 
     sub.add_parser("headline", help="paper-vs-measured headline claims")
     sub.add_parser("theorems", help="run the executable proposition checks")
@@ -196,12 +204,25 @@ def _cmd_optimize(spec: CrossbarSpec, objective: str) -> str:
 
 
 def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    from time import perf_counter
+
     from repro.codes.registry import make_code
 
     code = make_code(args.family, args.valence, args.length)
-    mc = simulate_cave_yield(spec, code, samples=args.samples, seed=args.seed)
+    start = perf_counter()
+    mc = simulate_cave_yield(
+        spec,
+        code,
+        samples=args.samples,
+        seed=args.seed,
+        method=args.method,
+        max_trials_per_chunk=args.chunk_size,
+    )
+    elapsed = perf_counter() - start
     rows = [
+        ["method", args.method],
         ["samples", mc.samples],
+        ["trials/s", f"{mc.samples / elapsed:,.0f}"],
         ["mean cave yield", f"{100 * mc.mean_cave_yield:.2f}%"],
         ["std error", f"{100 * mc.stderr:.2f}%"],
         ["electrical yield", f"{100 * mc.mean_electrical_yield:.2f}%"],

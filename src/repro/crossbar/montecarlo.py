@@ -6,10 +6,21 @@ actual threshold voltages (nominal + Gaussian error with the per-region
 sigma from the variability matrix) and actual contact-edge positions
 (uniform alignment offset), then counts truly addressable nanowires.
 Agreement between the two validates the independence assumptions.
+
+Two execution paths share the same sampling kernel
+(:class:`repro.sim.engine.CaveYieldKernel`):
+
+* ``method="batched"`` (default) — the chunked engine of
+  :mod:`repro.sim`, evaluating every trial on a leading batch axis;
+  scales to millions of samples.
+* ``method="loop"`` — the original one-trial-per-iteration loop, kept
+  as the seeded reference implementation; draw-for-draw compatible
+  with the seed version of this module.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -17,9 +28,13 @@ import numpy as np
 from repro.codes.base import CodeSpace
 from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import decoder_for
-from repro.decoder.addressing import sampled_addressable_mask
 from repro.decoder.decoder import HalfCaveDecoder
-from repro.device.variability import sample_region_vt
+from repro.sim.batch import (
+    DEFAULT_MAX_TRIALS_PER_CHUNK,
+    DEFAULT_STREAM_BLOCK,
+    validate_chunk,
+    validate_samples,
+)
 
 
 @dataclass(frozen=True)
@@ -34,43 +49,45 @@ class MonteCarloYield:
 
     @property
     def stderr(self) -> float:
-        """Standard error of the mean cave yield."""
-        return self.std_cave_yield / np.sqrt(self.samples)
+        """Standard error of the mean cave yield (0.0 for one sample)."""
+        if self.samples <= 1:
+            return 0.0
+        return self.std_cave_yield / math.sqrt(self.samples)
 
 
 def sample_electrical_mask(
-    decoder: HalfCaveDecoder, rng: np.random.Generator
+    decoder: HalfCaveDecoder,
+    rng: np.random.Generator,
+    trials: int | None = None,
 ) -> np.ndarray:
-    """One realisation of per-wire electrical addressability."""
-    nominal = decoder.plan.nominal_vt()
-    vt = sample_region_vt(nominal, decoder.nu, rng, decoder.sigma_t)
-    return sampled_addressable_mask(vt, decoder.patterns, decoder.scheme)
+    """Per-wire electrical addressability realisations.
+
+    With ``trials=None`` (legacy form) one ``(N,)`` mask is returned;
+    with an integer ``trials`` the masks arrive on a leading batch axis
+    ``(trials, N)``.  The scalar form is the batch-of-1 path of
+    :class:`repro.sim.engine.CaveYieldKernel` and consumes the random
+    stream exactly as the seed implementation did.
+    """
+    kernel = decoder.montecarlo_kernel
+    masks = kernel.electrical_masks(rng, 1 if trials is None else trials)
+    return masks[0] if trials is None else masks
 
 
 def sample_geometric_mask(
-    decoder: HalfCaveDecoder, rng: np.random.Generator
+    decoder: HalfCaveDecoder,
+    rng: np.random.Generator,
+    trials: int | None = None,
 ) -> np.ndarray:
-    """One realisation of per-wire survival of contact-group boundaries.
+    """Per-wire survival realisations of contact-group boundaries.
 
     Every internal boundary has a dead-plus-ambiguous zone of width
     ``gap + 2 * alignment_tolerance`` centred on the (randomly offset)
     boundary position; wires whose centres fall inside are removed.
+    Batch semantics as in :func:`sample_electrical_mask`.
     """
-    rules = decoder.rules
-    pitch = rules.nanowire_pitch_nm
-    n = decoder.nanowires
-    mask = np.ones(n, dtype=bool)
-    centres = (np.arange(n) + 0.5) * pitch
-    halfzone = rules.contact_gap_nm / 2.0 + rules.alignment_tolerance_nm
-    boundary = 0
-    for size in decoder.group_plan.group_sizes[:-1]:
-        boundary += size
-        offset = rng.uniform(
-            -rules.alignment_tolerance_nm, rules.alignment_tolerance_nm
-        )
-        position = boundary * pitch + offset
-        mask &= np.abs(centres - position) > halfzone
-    return mask
+    kernel = decoder.montecarlo_kernel
+    masks = kernel.geometric_masks(rng, 1 if trials is None else trials)
+    return masks[0] if trials is None else masks
 
 
 def simulate_cave_yield(
@@ -78,18 +95,45 @@ def simulate_cave_yield(
     space: CodeSpace,
     samples: int = 200,
     seed: int = 0,
+    *,
+    method: str = "batched",
+    max_trials_per_chunk: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+    stream_block: int = DEFAULT_STREAM_BLOCK,
 ) -> MonteCarloYield:
-    """Monte-Carlo estimate of the half-cave yield for one code."""
-    if samples < 1:
-        raise ValueError(f"need at least one sample, got {samples}")
+    """Monte-Carlo estimate of the half-cave yield for one code.
+
+    ``method="batched"`` runs the chunked engine
+    (:func:`repro.sim.engine.simulate_cave_yield_batched`);
+    ``method="loop"`` runs the legacy per-trial loop, which draws from
+    a single ``default_rng(seed)`` stream exactly like the seed
+    implementation.  The two agree within Monte-Carlo error but use
+    different stream layouts, so their estimates differ trial-for-trial.
+    """
+    validate_samples(samples)
+    validate_chunk(max_trials_per_chunk)
+    if method == "batched":
+        from repro.sim.engine import simulate_cave_yield_batched
+
+        return simulate_cave_yield_batched(
+            spec,
+            space,
+            samples=samples,
+            seed=seed,
+            max_trials_per_chunk=max_trials_per_chunk,
+            stream_block=stream_block,
+        )
+    if method != "loop":
+        raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
+
     decoder = decoder_for(spec, space)
+    kernel = decoder.montecarlo_kernel
     rng = np.random.default_rng(seed)
     cave = np.empty(samples)
     electrical = np.empty(samples)
     geometric = np.empty(samples)
     for s in range(samples):
-        e_mask = sample_electrical_mask(decoder, rng)
-        g_mask = sample_geometric_mask(decoder, rng)
+        e_mask = kernel.electrical_masks(rng, 1)[0]
+        g_mask = kernel.geometric_masks(rng, 1)[0]
         electrical[s] = e_mask.mean()
         geometric[s] = g_mask.mean()
         cave[s] = (e_mask & g_mask).mean()

@@ -81,15 +81,22 @@ def sampled_addressable_mask(
 ) -> np.ndarray:
     """Monte-Carlo addressability: every region must read as intended.
 
-    ``sampled_vt`` is one realisation of the region threshold voltages;
-    a wire is addressable iff each region's VT classifies back to the
-    wire's intended digit.
+    ``sampled_vt`` holds realisations of the region threshold voltages,
+    either a single ``(N, M)`` draw (legacy form) or any batch
+    ``(..., N, M)`` — e.g. the ``(trials, N, M)`` output of
+    :func:`repro.device.variability.sample_region_vt` with a trial
+    axis; leading axes broadcast and the wire mask keeps them.  A wire
+    is addressable iff each region's VT classifies back to the wire's
+    intended digit.  The batched engine's
+    :class:`repro.sim.engine.CaveYieldKernel` evaluates the same test
+    in standard-normal space without materialising the classified
+    digits.
     """
     sampled_vt = np.asarray(sampled_vt, dtype=float)
     patterns = np.asarray(patterns)
-    if sampled_vt.shape != patterns.shape:
+    if sampled_vt.shape[-patterns.ndim:] != patterns.shape:
         raise ValueError(
             f"shape mismatch: vt {sampled_vt.shape} vs patterns {patterns.shape}"
         )
     read = scheme.classify(sampled_vt)
-    return (read == patterns).all(axis=1)
+    return (read == patterns).all(axis=-1)

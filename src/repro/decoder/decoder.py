@@ -115,6 +115,18 @@ class HalfCaveDecoder:
         return plan_contact_groups(self.nanowires, self.space.size, self.rules)
 
     @cached_property
+    def montecarlo_kernel(self):
+        """Batched Monte-Carlo sampler for this half cave (cached).
+
+        One :class:`repro.sim.engine.CaveYieldKernel` per decoder, so
+        per-trial callers (defect maps, the legacy loop) pay the mask
+        precomputation once instead of per sample.
+        """
+        from repro.sim.engine import CaveYieldKernel
+
+        return CaveYieldKernel(self)
+
+    @cached_property
     def wire_probabilities(self) -> np.ndarray:
         """Electrical addressability probability of every nanowire."""
         return wire_addressability(self.nu, self.scheme, self.sigma_t)

@@ -75,15 +75,47 @@ def required_code_space(group_size: int, target_fraction: float) -> int:
     return omega
 
 
+def _validate_trial_budget(samples: int, max_trials_per_chunk: int) -> None:
+    if samples < 1:
+        raise StochasticError(f"need at least one sample, got {samples}")
+    if max_trials_per_chunk < 1:
+        raise StochasticError(
+            f"chunk size must be >= 1, got {max_trials_per_chunk}"
+        )
+
+
 def simulate_random_codes(
     group_size: int,
     code_space: int,
     samples: int,
     rng: np.random.Generator,
+    *,
+    method: str = "batched",
+    max_trials_per_chunk: int = 65536,
 ) -> float:
-    """Monte-Carlo estimate of the group-unique fraction."""
-    if samples < 1:
-        raise StochasticError(f"need at least one sample, got {samples}")
+    """Monte-Carlo estimate of the group-unique fraction.
+
+    ``method="batched"`` draws all codes of a chunk in one array call
+    via :class:`repro.sim.engine.RandomCodesKernel`; because the
+    batched draws consume ``rng`` in the same order as the legacy loop,
+    the per-trial fractions are bit-identical to ``method="loop"`` for
+    the same generator state, independent of ``max_trials_per_chunk``
+    (the mean may differ by float summation order only).
+    """
+    unique_code_probability(group_size, code_space)  # validates both args
+    _validate_trial_budget(samples, max_trials_per_chunk)
+    if method == "batched":
+        from repro.sim.engine import MonteCarloEngine, RandomCodesKernel
+
+        engine = MonteCarloEngine(
+            RandomCodesKernel(group_size, code_space),
+            max_trials_per_chunk=max_trials_per_chunk,
+        )
+        return float(engine.run(samples, rng)["unique_fraction"].mean)
+    if method != "loop":
+        raise StochasticError(
+            f"unknown method {method!r}; use 'batched' or 'loop'"
+        )
     total = 0.0
     for _ in range(samples):
         codes = rng.integers(0, code_space, size=group_size)
@@ -137,10 +169,32 @@ def simulate_random_contacts(
     samples: int,
     rng: np.random.Generator,
     connection_probability: float = 0.5,
+    *,
+    method: str = "batched",
+    max_trials_per_chunk: int = 65536,
 ) -> float:
-    """Monte-Carlo estimate of the random-contact unique fraction."""
-    if samples < 1:
-        raise StochasticError(f"need at least one sample, got {samples}")
+    """Monte-Carlo estimate of the random-contact unique fraction.
+
+    Batched by default via
+    :class:`repro.sim.engine.RandomContactsKernel`; same draw-for-draw
+    equivalence contract as :func:`simulate_random_codes`.
+    """
+    random_contact_addressable_fraction(
+        group_size, mesowires, connection_probability
+    )  # validates all three args
+    _validate_trial_budget(samples, max_trials_per_chunk)
+    if method == "batched":
+        from repro.sim.engine import MonteCarloEngine, RandomContactsKernel
+
+        engine = MonteCarloEngine(
+            RandomContactsKernel(group_size, mesowires, connection_probability),
+            max_trials_per_chunk=max_trials_per_chunk,
+        )
+        return float(engine.run(samples, rng)["unique_fraction"].mean)
+    if method != "loop":
+        raise StochasticError(
+            f"unknown method {method!r}; use 'batched' or 'loop'"
+        )
     total = 0.0
     for _ in range(samples):
         sig = rng.random((group_size, mesowires)) < connection_probability

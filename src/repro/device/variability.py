@@ -79,8 +79,9 @@ def sample_region_vt(
     nu: np.ndarray,
     rng: np.random.Generator,
     sigma_t: float = DEFAULT_SIGMA_T,
+    trials: int | None = None,
 ) -> np.ndarray:
-    """Draw one Monte-Carlo realisation of every region's VT.
+    """Draw Monte-Carlo realisations of every region's VT.
 
     Parameters
     ----------
@@ -92,6 +93,13 @@ def sample_region_vt(
         NumPy random generator (callers own the seed).
     sigma_t:
         Per-dose VT standard deviation [V].
+    trials:
+        ``None`` (legacy form) draws a single realisation with the
+        regions' shape; an integer draws that many realisations on a
+        leading batch axis ``(trials, *regions)``.  ``trials=1`` draws
+        the same values as the legacy form from the same generator
+        state — the batch-of-1 path used by the batched engine
+        (:mod:`repro.sim.engine`).
     """
     nominal = np.asarray(nominal, dtype=float)
     std = region_std(nu, sigma_t)
@@ -99,4 +107,10 @@ def sample_region_vt(
         raise ValueError(
             f"shape mismatch: nominal {nominal.shape} vs nu {np.shape(nu)}"
         )
-    return nominal + rng.standard_normal(nominal.shape) * std
+    if trials is None:
+        shape = nominal.shape
+    else:
+        if trials < 1:
+            raise ValueError(f"need at least one trial, got {trials}")
+        shape = (trials,) + nominal.shape
+    return nominal + rng.standard_normal(shape) * std

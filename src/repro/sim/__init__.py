@@ -1,0 +1,52 @@
+"""Batched Monte-Carlo simulation engine (leading trial axis, chunked).
+
+Every stochastic result of the reproduction — the Sec. 6.1 cave-yield
+cross-check and the DeHon [6] / Hogg [8] stochastic-decoder baselines —
+runs through this subsystem: a chunked, stream-reproducible engine that
+evaluates whole batches of trials per NumPy call instead of one trial
+per Python iteration.  See README.md ("Batched simulation engine") for
+the chunking and reproducibility contract.
+"""
+
+from repro.sim.accumulators import MomentSet, StreamingMoments
+from repro.sim.batch import (
+    DEFAULT_MAX_TRIALS_PER_CHUNK,
+    DEFAULT_STREAM_BLOCK,
+    Chunk,
+    plan_chunks,
+    resolve_rng,
+    spawn_block_streams,
+    validate_chunk,
+    validate_samples,
+)
+from repro.sim.engine import (
+    CaveYieldKernel,
+    MetricSummary,
+    MonteCarloEngine,
+    RandomCodesKernel,
+    RandomContactsKernel,
+    SimResult,
+    TrialKernel,
+    simulate_cave_yield_batched,
+)
+
+__all__ = [
+    "CaveYieldKernel",
+    "Chunk",
+    "DEFAULT_MAX_TRIALS_PER_CHUNK",
+    "DEFAULT_STREAM_BLOCK",
+    "MetricSummary",
+    "MomentSet",
+    "MonteCarloEngine",
+    "RandomCodesKernel",
+    "RandomContactsKernel",
+    "SimResult",
+    "StreamingMoments",
+    "TrialKernel",
+    "plan_chunks",
+    "resolve_rng",
+    "simulate_cave_yield_batched",
+    "spawn_block_streams",
+    "validate_chunk",
+    "validate_samples",
+]

@@ -1,0 +1,95 @@
+"""Streaming (Welford-style) moment accumulators for chunked simulation.
+
+A chunked engine never holds all per-trial values at once, so summary
+statistics are accumulated online.  :class:`StreamingMoments` keeps the
+running count, mean and centred second moment (M2) and folds in whole
+batches at a time using the Chan/Golub/LeVeque parallel-combine update —
+numerically stable at millions of trials, and mergeable across chunks
+(or, later, across shards).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class StreamingMoments:
+    """Online mean/variance/stderr over a stream of scalar trial values.
+
+    ``update`` consumes a batch (any array shape; it is flattened),
+    ``merge`` combines two accumulators, and the properties report the
+    same statistics NumPy would: ``mean`` matches ``np.mean`` and
+    ``std`` matches ``np.std(ddof=1)`` up to floating-point rounding.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def update(self, values: np.ndarray) -> None:
+        """Fold one batch of per-trial values into the running moments."""
+        values = np.asarray(values, dtype=float).ravel()
+        n = values.size
+        if n == 0:
+            return
+        batch_mean = float(values.mean())
+        batch_m2 = float(((values - batch_mean) ** 2).sum())
+        self._combine(n, batch_mean, batch_m2)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator into this one (sharding-friendly)."""
+        self._combine(other.count, other.mean, other._m2)
+
+    def _combine(self, n: int, mean: float, m2: float) -> None:
+        if n == 0:
+            return
+        total = self.count + n
+        delta = mean - self.mean
+        self.mean += delta * n / total
+        self._m2 += m2 + delta * delta * self.count * n / total
+        self.count = total
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 for fewer than two trials."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1); 0.0 below two trials."""
+        return math.sqrt(self.variance)
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean; 0.0 for a single trial."""
+        if self.count <= 1:
+            return 0.0
+        return self.std / math.sqrt(self.count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingMoments(count={self.count}, mean={self.mean:.6g}, "
+            f"std={self.std:.6g})"
+        )
+
+
+class MomentSet:
+    """A named bundle of :class:`StreamingMoments`, one per metric."""
+
+    def __init__(self, names: tuple[str, ...]) -> None:
+        self.moments = {name: StreamingMoments() for name in names}
+
+    def update(self, batch: dict) -> None:
+        """Fold a kernel's ``{metric: per-trial array}`` batch."""
+        for name, values in batch.items():
+            self.moments[name].update(values)
+
+    def __getitem__(self, name: str) -> StreamingMoments:
+        return self.moments[name]

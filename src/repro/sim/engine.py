@@ -1,0 +1,421 @@
+"""Batched Monte-Carlo engine: every trial lives on a leading array axis.
+
+The legacy simulators (:func:`repro.crossbar.montecarlo.simulate_cave_yield`
+with ``method="loop"``, and the ``method="loop"`` paths of
+:mod:`repro.decoder.stochastic`) evaluate one trial per Python-loop
+iteration.  This module evaluates *all* trials of a chunk in single
+NumPy calls on a leading ``(trials, ...)`` axis, which is 20-50x faster
+and scales to millions of samples with bounded memory:
+
+* :class:`MonteCarloEngine` drives any :class:`TrialKernel` through the
+  chunk/stream-block plan of :mod:`repro.sim.batch` and aggregates
+  per-trial metrics with the Welford accumulators of
+  :mod:`repro.sim.accumulators`;
+* :class:`CaveYieldKernel` is the batched Sec. 6.1 cave-yield sampler
+  (threshold-voltage and boundary-offset realisations);
+* :class:`RandomCodesKernel` / :class:`RandomContactsKernel` are the
+  batched DeHon [6] / Hogg [8] stochastic-decoder baselines, drawing
+  from a single shared stream so they reproduce the legacy per-trial
+  loops draw-for-draw.
+
+Reproducibility contract
+------------------------
+Spawn-mode kernels (cave yield) draw from one child generator per
+fixed-size stream block, so results depend only on the seed and the
+``stream_block`` — not on ``max_trials_per_chunk``.  Shared-mode
+kernels draw from the caller's generator in trial order, so they are
+chunk-invariant *and* bit-compatible with the legacy loops for the
+same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sim.accumulators import MomentSet, StreamingMoments
+from repro.sim.batch import (
+    DEFAULT_MAX_TRIALS_PER_CHUNK,
+    DEFAULT_STREAM_BLOCK,
+    block_sizes,
+    plan_chunks,
+    resolve_rng,
+    spawn_block_streams,
+    validate_samples,
+)
+
+# -- engine core ---------------------------------------------------------------
+
+
+class TrialKernel:
+    """Vectorised sampler of one simulation, trial axis leading.
+
+    Subclasses define
+
+    * ``metrics`` — names of the per-trial scalars returned;
+    * ``stream_mode`` — ``"spawn"`` (one child generator per stream
+      block; for kernels that interleave several draw calls per trial)
+      or ``"shared"`` (draw sequentially from the caller's generator;
+      only for kernels whose draws concatenate across calls exactly
+      like the per-trial legacy loop);
+    * :meth:`sample`.
+    """
+
+    metrics: tuple[str, ...] = ()
+    stream_mode: str = "spawn"
+
+    def sample(self, rng: np.random.Generator, trials: int) -> dict:
+        """Return ``{metric: (trials,) float array}`` for one batch."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregated statistics of one per-trial metric."""
+
+    samples: int
+    mean: float
+    std: float
+    stderr: float
+
+    @classmethod
+    def from_moments(cls, moments: StreamingMoments) -> "MetricSummary":
+        return cls(
+            samples=moments.count,
+            mean=moments.mean,
+            std=moments.std,
+            stderr=moments.stderr,
+        )
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one engine run: summaries plus optional raw trials."""
+
+    samples: int
+    metrics: dict
+    raw: dict | None = None
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.metrics[name]
+
+
+class MonteCarloEngine:
+    """Chunked, stream-reproducible driver for a :class:`TrialKernel`.
+
+    Parameters
+    ----------
+    kernel:
+        The vectorised per-trial sampler.
+    max_trials_per_chunk:
+        Upper bound on trials materialised at once (rounded down to
+        whole stream blocks); bounds memory, never changes results.
+    stream_block:
+        Trials per child random stream and per kernel call in spawn
+        mode.  Part of the reproducibility contract: changing it
+        changes which child stream a trial draws from.
+    """
+
+    def __init__(
+        self,
+        kernel: TrialKernel,
+        *,
+        max_trials_per_chunk: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+        stream_block: int = DEFAULT_STREAM_BLOCK,
+    ) -> None:
+        self.kernel = kernel
+        self.max_trials_per_chunk = max_trials_per_chunk
+        self.stream_block = stream_block
+
+    def run(
+        self,
+        samples: int,
+        rng: np.random.Generator | int | None = 0,
+        *,
+        collect: bool = False,
+    ) -> SimResult:
+        """Simulate ``samples`` trials; optionally keep raw per-trial data.
+
+        ``rng`` is an integer seed (engine builds a fast SFC64 root) or
+        a ready :class:`numpy.random.Generator` (used as-is — required
+        for bit-compatibility with the legacy shared-stream loops).
+        """
+        samples = validate_samples(samples)
+        chunks = plan_chunks(samples, self.max_trials_per_chunk, self.stream_block)
+        root = resolve_rng(rng)
+        acc = MomentSet(self.kernel.metrics)
+        raw: dict | None = (
+            {name: [] for name in self.kernel.metrics} if collect else None
+        )
+
+        for chunk in chunks:
+            if self.kernel.stream_mode == "shared":
+                batches = [self.kernel.sample(root, chunk.trials)]
+            else:
+                widths = block_sizes(chunk, self.stream_block)
+                streams = spawn_block_streams(root, len(widths))
+                batches = [
+                    self.kernel.sample(stream, width)
+                    for stream, width in zip(streams, widths)
+                ]
+            for batch in batches:
+                acc.update(batch)
+                if raw is not None:
+                    for name in self.kernel.metrics:
+                        raw[name].append(np.asarray(batch[name]))
+
+        metrics = {
+            name: MetricSummary.from_moments(acc[name])
+            for name in self.kernel.metrics
+        }
+        if raw is not None:
+            raw = {name: np.concatenate(parts) for name, parts in raw.items()}
+        return SimResult(samples=samples, metrics=metrics, raw=raw)
+
+
+# -- cave-yield kernel (Sec. 6.1 Monte-Carlo cross-check) ----------------------
+
+
+class CaveYieldKernel(TrialKernel):
+    """Batched half-cave yield sampler: VT and boundary-offset draws.
+
+    One trial realises every doping region's threshold voltage
+    (``nominal + sigma_region * z`` with standard-normal ``z``) and
+    every contact-group boundary's alignment offset, then counts the
+    nanowires that are electrically addressable, geometrically
+    unambiguous, and both.  The electrical test is the addressability
+    window of :class:`repro.device.threshold.LevelScheme` — ``|VT -
+    nominal| <= window_halfwidth`` — which coincides with the legacy
+    ``classify``-based mask except on the measure-zero event of a VT
+    landing exactly halfway between two levels.
+    """
+
+    metrics = ("cave", "electrical", "geometric")
+    stream_mode = "spawn"
+
+    #: Draw layouts.  ``"trial"`` draws VT noise as ``(trials, N, M)``
+    #: — the batch-of-1 form consumes the stream exactly like the seed
+    #: per-trial implementation, so the scalar wrappers and the
+    #: ``method="loop"`` path use it.  ``"region"`` draws ``(M, trials,
+    #: N)`` so the all-regions reduction runs as a few full-width
+    #: vectorised ANDs instead of NumPy's slow length-M inner reduce;
+    #: it is ~1.3x faster and is the engine default.  The two layouts
+    #: sample the same distribution from different stream orders.
+    LAYOUTS = ("trial", "region")
+
+    def __init__(self, decoder) -> None:
+        self.decoder = decoder
+        scheme = decoder.scheme
+        rules = decoder.rules
+        self.nominal = np.asarray(decoder.plan.nominal_vt(), dtype=float)
+        self.std = decoder.sigma_t * np.sqrt(np.asarray(decoder.nu, dtype=float))
+        levels = np.asarray(scheme.levels)
+        self.target = levels[decoder.patterns]
+        self.halfwidth = scheme.window_halfwidth
+        # Fast path: nominal VT equals the intended level everywhere and
+        # every region is doped, so the window test reduces to
+        # |z| <= halfwidth / sigma in standard-normal space.
+        self._zspace = bool(
+            np.array_equal(self.nominal, self.target) and np.all(self.std > 0)
+        )
+        if self._zspace:
+            self._zmax = self.halfwidth / self.std
+            self._zmax_by_region = np.ascontiguousarray(self._zmax.T)
+        pitch = rules.nanowire_pitch_nm
+        n = decoder.nanowires
+        self.centres = (np.arange(n) + 0.5) * pitch
+        self.halfzone = rules.contact_gap_nm / 2.0 + rules.alignment_tolerance_nm
+        self.tolerance = rules.alignment_tolerance_nm
+        sizes = decoder.group_plan.group_sizes
+        self.boundaries = np.cumsum(sizes[:-1]) * pitch
+        self._scratch: np.ndarray | None = None
+
+    def _draw_normals(
+        self, rng: np.random.Generator, shape: tuple[int, ...]
+    ) -> np.ndarray:
+        # Reuse one draw buffer across blocks of the same width so a long
+        # chunked run does not re-fault fresh pages every block.
+        if self._scratch is None or self._scratch.shape != shape:
+            self._scratch = np.empty(shape)
+        rng.standard_normal(out=self._scratch)
+        return self._scratch
+
+    def electrical_masks(
+        self, rng: np.random.Generator, trials: int, layout: str = "trial"
+    ) -> np.ndarray:
+        """``(trials, N)`` boolean electrical addressability masks."""
+        n, m = self.nominal.shape
+        if layout == "trial":
+            z = self._draw_normals(rng, (trials, n, m))
+            if self._zspace:
+                np.abs(z, out=z)
+                return (z <= self._zmax).all(axis=-1)
+            vt = self.nominal + z * self.std
+            return (np.abs(vt - self.target) <= self.halfwidth).all(axis=-1)
+        if layout != "region":
+            raise ValueError(f"unknown layout {layout!r}; use 'trial' or 'region'")
+        z = self._draw_normals(rng, (m, trials, n))
+        if self._zspace:
+            np.abs(z, out=z)
+            mask = z[0] <= self._zmax_by_region[0]
+            for r in range(1, m):
+                mask &= z[r] <= self._zmax_by_region[r]
+            return mask
+        half = self.halfwidth
+        mask = None
+        for r in range(m):
+            vt_err = z[r] * self.std[:, r] + (self.nominal - self.target)[:, r]
+            ok = np.abs(vt_err) <= half
+            mask = ok if mask is None else (mask & ok)
+        return mask
+
+    def geometric_masks(
+        self, rng: np.random.Generator, trials: int
+    ) -> np.ndarray:
+        """``(trials, N)`` boolean contact-boundary survival masks."""
+        offsets = rng.uniform(
+            -self.tolerance, self.tolerance, size=(trials, self.boundaries.size)
+        )
+        mask: np.ndarray | None = None
+        for b in range(self.boundaries.size):
+            position = self.boundaries[b] + offsets[:, b]
+            clear = (
+                np.abs(self.centres[None, :] - position[:, None]) > self.halfzone
+            )
+            mask = clear if mask is None else (mask & clear)
+        if mask is None:
+            mask = np.ones((trials, self.centres.size), dtype=bool)
+        return mask
+
+    def sample(self, rng: np.random.Generator, trials: int) -> dict:
+        e_mask = self.electrical_masks(rng, trials, layout="region")
+        g_mask = self.geometric_masks(rng, trials)
+        return {
+            "cave": (e_mask & g_mask).mean(axis=1),
+            "electrical": e_mask.mean(axis=1),
+            "geometric": g_mask.mean(axis=1),
+        }
+
+
+def simulate_cave_yield_batched(
+    spec,
+    space,
+    samples: int = 200,
+    seed: int | np.random.Generator | None = 0,
+    *,
+    max_trials_per_chunk: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+    stream_block: int = DEFAULT_STREAM_BLOCK,
+):
+    """Batched Monte-Carlo half-cave yield (engine-backed Sec. 6.1 check).
+
+    Same contract as :func:`repro.crossbar.montecarlo.simulate_cave_yield`
+    but evaluated on a leading trial axis: results are reproducible for
+    a given ``(seed, stream_block)`` independent of
+    ``max_trials_per_chunk``, and agree with the legacy loop within
+    Monte-Carlo error (the streams differ by design).
+    """
+    from repro.crossbar.montecarlo import MonteCarloYield
+    from repro.crossbar.yield_model import decoder_for
+
+    decoder = decoder_for(spec, space)
+    engine = MonteCarloEngine(
+        decoder.montecarlo_kernel,
+        max_trials_per_chunk=max_trials_per_chunk,
+        stream_block=stream_block,
+    )
+    result = engine.run(samples, seed)
+    return MonteCarloYield(
+        samples=result.samples,
+        mean_cave_yield=result["cave"].mean,
+        std_cave_yield=result["cave"].std,
+        mean_electrical_yield=result["electrical"].mean,
+        mean_geometric_yield=result["geometric"].mean,
+    )
+
+
+# -- stochastic-decoder baseline kernels ([6], [8]) ----------------------------
+
+
+def _unique_fraction_rows(ids: np.ndarray) -> np.ndarray:
+    """Per-row fraction of values occurring exactly once in that row.
+
+    ``ids`` is ``(trials, group)``; equivalent to the legacy
+    ``np.unique(..., return_counts=True)`` accounting, vectorised via a
+    row-wise sort and neighbour comparison.
+    """
+    trials, group = ids.shape
+    if group == 1:
+        return np.ones(trials)
+    s = np.sort(ids, axis=1)
+    interior_distinct = s[:, 1:] != s[:, :-1]
+    distinct_prev = np.empty((trials, group), dtype=bool)
+    distinct_prev[:, 0] = True
+    distinct_prev[:, 1:] = interior_distinct
+    distinct_next = np.empty((trials, group), dtype=bool)
+    distinct_next[:, -1] = True
+    distinct_next[:, :-1] = interior_distinct
+    return (distinct_prev & distinct_next).mean(axis=1)
+
+
+class RandomCodesKernel(TrialKernel):
+    """Batched randomised-code decoder baseline (DeHon [6]).
+
+    Shared-stream: ``rng.integers`` over ``(trials, group)`` consumes
+    the generator exactly like the legacy one-trial-at-a-time loop, so
+    the per-trial unique fractions are bit-identical for the same seed.
+    """
+
+    metrics = ("unique_fraction",)
+    stream_mode = "shared"
+
+    def __init__(self, group_size: int, code_space: int) -> None:
+        self.group_size = group_size
+        self.code_space = code_space
+
+    def sample(self, rng: np.random.Generator, trials: int) -> dict:
+        codes = rng.integers(0, self.code_space, size=(trials, self.group_size))
+        return {"unique_fraction": _unique_fraction_rows(codes)}
+
+
+class RandomContactsKernel(TrialKernel):
+    """Batched random-contact decoder baseline (Hogg [8]).
+
+    Signatures are packed into exact float64 integers (52 bits per
+    word) so row-uniqueness reduces to the same sort-and-compare as the
+    code kernel; more than 52 mesowires fall back to a per-trial
+    ``np.unique`` (exactness preserved, speed secondary at that size).
+    """
+
+    metrics = ("unique_fraction",)
+    stream_mode = "shared"
+
+    _BITS_PER_WORD = 52
+
+    def __init__(
+        self,
+        group_size: int,
+        mesowires: int,
+        connection_probability: float = 0.5,
+    ) -> None:
+        self.group_size = group_size
+        self.mesowires = mesowires
+        self.connection_probability = connection_probability
+
+    def sample(self, rng: np.random.Generator, trials: int) -> dict:
+        signatures = (
+            rng.random((trials, self.group_size, self.mesowires))
+            < self.connection_probability
+        )
+        if self.mesowires <= self._BITS_PER_WORD:
+            weights = 2.0 ** np.arange(self.mesowires)
+            ids = signatures @ weights
+            frac = _unique_fraction_rows(ids)
+        else:
+            frac = np.empty(trials)
+            for t in range(trials):
+                _, inverse, counts = np.unique(
+                    signatures[t], axis=0, return_inverse=True, return_counts=True
+                )
+                frac[t] = (counts[inverse] == 1).sum() / self.group_size
+        return {"unique_fraction": frac}

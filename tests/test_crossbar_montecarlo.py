@@ -67,3 +67,25 @@ class TestSimulateCaveYield:
     def test_rejects_zero_samples(self, spec):
         with pytest.raises(ValueError):
             simulate_cave_yield(spec, make_code("TC", 2, 8), samples=0)
+
+    def test_single_sample_has_zero_stderr(self, spec):
+        for method in ("batched", "loop"):
+            mc = simulate_cave_yield(
+                spec, make_code("TC", 2, 8), samples=1, seed=2, method=method
+            )
+            assert mc.std_cave_yield == 0.0
+            assert mc.stderr == 0.0
+
+    def test_methods_agree_statistically(self, spec):
+        code = make_code("BGC", 2, 8)
+        batched = simulate_cave_yield(spec, code, samples=2000, seed=3)
+        loop = simulate_cave_yield(spec, code, samples=500, seed=3, method="loop")
+        assert batched.mean_cave_yield == pytest.approx(
+            loop.mean_cave_yield, abs=4 * (batched.stderr + loop.stderr)
+        )
+
+    def test_batched_masks_carry_trial_axis(self, spec, rng):
+        decoder = decoder_for(spec, make_code("BGC", 2, 8))
+        masks = sample_electrical_mask(decoder, rng, trials=6)
+        assert masks.shape == (6, 20)
+        assert masks.dtype == bool

@@ -1,0 +1,128 @@
+"""Seeded golden-regression tests for the Monte-Carlo simulators.
+
+These pin the exact numbers produced by canonical seeded runs so a
+future refactor cannot silently drift the figures:
+
+* ``method="loop"`` goldens are bit-compatible with the seed (pre-
+  engine) implementation of ``simulate_cave_yield`` — they were
+  computed with the original per-trial loop and must keep matching;
+* ``method="batched"`` goldens pin the engine's spawned-stream layout
+  (seed + stream block), which the reproducibility contract freezes;
+* the stochastic-baseline goldens pin the shared-stream draws common
+  to both methods.
+
+Tolerance is ``rel=1e-12``: tight enough to catch any change in draws
+or masking, loose enough to ignore float summation-order noise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_code
+from repro.crossbar.montecarlo import simulate_cave_yield
+from repro.crossbar.spec import CrossbarSpec
+from repro.decoder.stochastic import (
+    simulate_random_codes,
+    simulate_random_contacts,
+)
+
+GOLDEN_RTOL = 1e-12
+
+#: (family, length, samples, seed) -> (cave, std, electrical, geometric)
+LOOP_GOLDENS = {
+    ("BGC", 8, 400, 11): (
+        0.714375,
+        0.05707673571078235,
+        0.9127500000000001,
+        0.788625,
+    ),
+    ("TC", 6, 300, 5): (
+        0.4081666666666667,
+        0.06799792606188773,
+        0.7190000000000001,
+        0.578,
+    ),
+}
+
+BATCHED_GOLDENS = {
+    ("BGC", 8, 2000, 7): (
+        0.7142000000000001,
+        0.058566842475233034,
+        0.912225,
+        0.7896250000000001,
+    ),
+    ("TC", 6, 2000, 7): (
+        0.404725,
+        0.07137206288654085,
+        0.719125,
+        0.5796249999999998,
+    ),
+    ("AHC", 6, 2000, 7): (
+        0.8617,
+        0.07369413418112972,
+        0.8617,
+        1.0,
+    ),
+}
+
+
+def _check(mc, expected):
+    cave, std, electrical, geometric = expected
+    assert mc.mean_cave_yield == pytest.approx(cave, rel=GOLDEN_RTOL)
+    assert mc.std_cave_yield == pytest.approx(std, rel=GOLDEN_RTOL)
+    assert mc.mean_electrical_yield == pytest.approx(electrical, rel=GOLDEN_RTOL)
+    assert mc.mean_geometric_yield == pytest.approx(geometric, rel=GOLDEN_RTOL)
+
+
+class TestCaveYieldGoldens:
+    @pytest.mark.parametrize("point", sorted(LOOP_GOLDENS))
+    def test_loop_method_pinned(self, point):
+        family, length, samples, seed = point
+        mc = simulate_cave_yield(
+            CrossbarSpec(),
+            make_code(family, 2, length),
+            samples=samples,
+            seed=seed,
+            method="loop",
+        )
+        _check(mc, LOOP_GOLDENS[point])
+
+    @pytest.mark.parametrize("point", sorted(BATCHED_GOLDENS))
+    def test_batched_method_pinned(self, point):
+        family, length, samples, seed = point
+        mc = simulate_cave_yield(
+            CrossbarSpec(),
+            make_code(family, 2, length),
+            samples=samples,
+            seed=seed,
+        )
+        _check(mc, BATCHED_GOLDENS[point])
+
+    def test_batched_golden_is_chunk_invariant(self):
+        """The pinned value must hold for any chunking of the same run."""
+        mc = simulate_cave_yield(
+            CrossbarSpec(),
+            make_code("BGC", 2, 8),
+            samples=2000,
+            seed=7,
+            max_trials_per_chunk=777,
+        )
+        _check(mc, BATCHED_GOLDENS[("BGC", 8, 2000, 7)])
+
+
+class TestStochasticBaselineGoldens:
+    def test_random_codes_pinned(self):
+        batched = simulate_random_codes(20, 64, 4000, np.random.default_rng(3))
+        loop = simulate_random_codes(
+            20, 64, 4000, np.random.default_rng(3), method="loop"
+        )
+        assert batched == pytest.approx(0.7391875, rel=GOLDEN_RTOL)
+        assert loop == pytest.approx(0.7391875, rel=1e-9)
+
+    def test_random_contacts_pinned(self):
+        batched = simulate_random_contacts(10, 8, 4000, np.random.default_rng(3))
+        loop = simulate_random_contacts(
+            10, 8, 4000, np.random.default_rng(3), method="loop"
+        )
+        assert batched == pytest.approx(0.963425, rel=GOLDEN_RTOL)
+        assert loop == pytest.approx(0.963425, rel=1e-9)
