@@ -29,4 +29,15 @@ else
 fi
 
 echo
+echo "== sweep-pipeline perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: 180-point grid, caching+parallelism >= 3x
+    python -m pytest -q benchmarks/bench_sweep_pipeline.py
+else
+    # same grid, looser floor so container noise cannot flake it
+    SWEEP_BENCH_MIN_SPEEDUP=2 \
+    python -m pytest -q benchmarks/bench_sweep_pipeline.py
+fi
+
+echo
 echo "ok — reports in benchmarks/output/"

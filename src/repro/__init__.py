@@ -17,6 +17,9 @@ The library models the full MSPT decoder stack:
 * ``repro.sim`` — the batched Monte-Carlo engine: chunked,
   stream-reproducible evaluation of all stochastic models on a
   leading trial axis;
+* ``repro.exp`` — the design-space evaluation pipeline: parallel,
+  cached, columnar sweeps of analytic design points (the engine under
+  every figure generator, family sweep and the optimizer);
 * ``repro.analysis`` — figure data generators and headline statistics;
 * ``repro.core`` — the high-level :class:`DecoderDesign` API, design
   optimisation and executable theorem checks.
@@ -48,6 +51,7 @@ from repro.crossbar import (
     simulate_cave_yield,
 )
 from repro.decoder import HalfCaveDecoder
+from repro.exp import DesignPoint, SweepResult, design_grid, run_sweep
 from repro.fabrication import DopingPlan, ProcessFlow, fabrication_complexity
 from repro.sim import (
     MonteCarloEngine,
@@ -64,6 +68,7 @@ __all__ = [
     "CrossbarMemory",
     "CrossbarSpec",
     "DecoderDesign",
+    "DesignPoint",
     "DopingPlan",
     "GrayCode",
     "HalfCaveDecoder",
@@ -75,10 +80,13 @@ __all__ = [
     "__version__",
     "crossbar_yield",
     "effective_bit_area",
+    "SweepResult",
+    "design_grid",
     "explore_designs",
     "fabrication_complexity",
     "make_code",
     "optimize_design",
+    "run_sweep",
     "sample_defect_map",
     "simulate_cave_yield",
     "simulate_cave_yield_batched",

@@ -11,6 +11,13 @@ figure numbers, parameters and sweep ranges follow Sec. 6:
 * Fig. 7 — crossbar yield vs code length for TC/BGC (6, 8, 10) and
   HC/AHC (4, 6, 8);
 * Fig. 8 — effective bit area for all five families across lengths.
+
+All four generators run on the design-space evaluation pipeline
+(:mod:`repro.exp`): Figs. 7/8 evaluate one combined point grid through
+:func:`repro.exp.pipeline.run_sweep` (``jobs`` fans it out over worker
+processes), Figs. 5/6 run their irregular grids through
+:func:`repro.exp.pipeline.function_sweep`.  The returned shapes are the
+same as they always were.
 """
 
 from __future__ import annotations
@@ -18,10 +25,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.codes.registry import make_code, shortest_covering_code
-from repro.crossbar.area import family_area_sweep
 from repro.crossbar.spec import CrossbarSpec
-from repro.crossbar.yield_model import family_yield_sweep
 from repro.decoder.variability import normalised_std_map
+from repro.exp.designpoint import DesignPoint
+from repro.exp.pipeline import function_sweep, run_sweep
 from repro.fabrication.complexity import code_complexity
 
 #: Paper's Fig. 5 nanowire count per half cave.
@@ -38,6 +45,34 @@ TREE_LENGTHS = (6, 8, 10)
 HOT_LENGTHS = (4, 6, 8)
 
 
+def _family_series(
+    spec: CrossbarSpec,
+    family_lengths: tuple[tuple[str, tuple[int, ...]], ...],
+    metric: str,
+    value_field: str,
+    n: int,
+    jobs: int,
+) -> dict[str, list[tuple[int, float]]]:
+    """One pipeline sweep over several family curves, regrouped per family."""
+    points = [
+        DesignPoint.make(family, length, n)
+        for family, lengths in family_lengths
+        for length in lengths
+    ]
+    result = run_sweep(points, metrics=(metric,), spec=spec, jobs=jobs)
+    lengths_col = result.column("total_length").tolist()
+    values_col = result.column(value_field).tolist()
+    out: dict[str, list[tuple[int, float]]] = {}
+    cursor = 0
+    for family, lengths in family_lengths:
+        out[family] = [
+            (lengths_col[cursor + i], values_col[cursor + i])
+            for i in range(len(lengths))
+        ]
+        cursor += len(lengths)
+    return out
+
+
 def fig5_fabrication_complexity(
     nanowires: int = FIG5_NANOWIRES,
     families: tuple[str, ...] = ("TC", "GC"),
@@ -47,13 +82,17 @@ def fig5_fabrication_complexity(
     Each logic valence uses its shortest code covering ``nanowires``
     words; returns ``{logic_label: {family: Phi}}``.
     """
-    out: dict[str, dict[str, int]] = {}
-    for label, n in FIG5_LOGICS.items():
-        row = {}
-        for family in families:
-            space = shortest_covering_code(family, n, nanowires)
-            row[family] = code_complexity(space, nanowires)
-        out[label] = row
+
+    def evaluate(logic: str, family: str) -> dict[str, int]:
+        space = shortest_covering_code(family, FIG5_LOGICS[logic], nanowires)
+        return {"phi": code_complexity(space, nanowires)}
+
+    table = function_sweep(
+        {"logic": list(FIG5_LOGICS), "family": list(families)}, evaluate
+    )
+    out: dict[str, dict[str, int]] = {logic: {} for logic in FIG5_LOGICS}
+    for rec in table.to_records():
+        out[rec["logic"]][rec["family"]] = rec["phi"]
     return out
 
 
@@ -68,54 +107,65 @@ def fig6_variability_maps(
     Returns ``{(family, total_length): (N x M) array}`` — the six panels
     of the figure for the default arguments.
     """
-    out: dict[tuple[str, int], np.ndarray] = {}
-    for family in families:
-        for length in lengths:
-            space = make_code(family, n, length)
-            out[(family, length)] = normalised_std_map(space, nanowires)
-    return out
+
+    def evaluate(family: str, length: int) -> dict[str, np.ndarray]:
+        return {"map": normalised_std_map(make_code(family, n, length), nanowires)}
+
+    table = function_sweep(
+        {"family": list(families), "length": list(lengths)}, evaluate
+    )
+    return {
+        (rec["family"], rec["length"]): rec["map"]
+        for rec in table.to_records()
+    }
 
 
 def fig7_crossbar_yield(
     spec: CrossbarSpec | None = None,
     n: int = 2,
+    jobs: int = 1,
 ) -> dict[str, list[tuple[int, float]]]:
     """Fig. 7: cave yield vs code length for the four plotted families.
 
     Returns ``{family: [(length, yield), ...]}`` with TC/BGC over
     (6, 8, 10) and HC/AHC over (4, 6, 8), as in the paper's two panels.
     """
-    spec = spec or CrossbarSpec()
-    out: dict[str, list[tuple[int, float]]] = {}
-    for family, lengths in (
-        ("TC", TREE_LENGTHS),
-        ("BGC", TREE_LENGTHS),
-        ("HC", HOT_LENGTHS),
-        ("AHC", HOT_LENGTHS),
-    ):
-        reports = family_yield_sweep(spec, family, lengths, n)
-        out[family] = [(r.code_length, r.cave_yield) for r in reports]
-    return out
+    return _family_series(
+        spec or CrossbarSpec(),
+        (
+            ("TC", TREE_LENGTHS),
+            ("BGC", TREE_LENGTHS),
+            ("HC", HOT_LENGTHS),
+            ("AHC", HOT_LENGTHS),
+        ),
+        metric="yield",
+        value_field="cave_yield",
+        n=n,
+        jobs=jobs,
+    )
 
 
 def fig8_bit_area(
     spec: CrossbarSpec | None = None,
     n: int = 2,
+    jobs: int = 1,
 ) -> dict[str, list[tuple[int, float]]]:
     """Fig. 8: effective bit area per code type and length.
 
     Returns ``{family: [(length, bit_area_nm2), ...]}`` for all five
     families (TC/GC/BGC over 6-10, HC/AHC over 4-8).
     """
-    spec = spec or CrossbarSpec()
-    out: dict[str, list[tuple[int, float]]] = {}
-    for family, lengths in (
-        ("TC", TREE_LENGTHS),
-        ("GC", TREE_LENGTHS),
-        ("BGC", TREE_LENGTHS),
-        ("HC", HOT_LENGTHS),
-        ("AHC", HOT_LENGTHS),
-    ):
-        reports = family_area_sweep(spec, family, lengths, n)
-        out[family] = [(r.code_length, r.effective_bit_area_nm2) for r in reports]
-    return out
+    return _family_series(
+        spec or CrossbarSpec(),
+        (
+            ("TC", TREE_LENGTHS),
+            ("GC", TREE_LENGTHS),
+            ("BGC", TREE_LENGTHS),
+            ("HC", HOT_LENGTHS),
+            ("AHC", HOT_LENGTHS),
+        ),
+        metric="area",
+        value_field="effective_bit_area_nm2",
+        n=n,
+        jobs=jobs,
+    )

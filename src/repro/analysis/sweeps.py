@@ -1,20 +1,24 @@
-"""Generic parameter-sweep engine for design-space and ablation studies.
+"""Legacy sweep helpers — thin compat shims over the exp pipeline.
 
 The paper's evaluation is a set of one-dimensional sweeps (code length,
 code family, logic valence); our ablation benches additionally sweep the
 calibrated model parameters (window margin, boundary gap, sigma_T, N).
-This module keeps all of them on one small engine so results are
-uniformly shaped records.
+All of that now runs on the design-space evaluation pipeline
+(:mod:`repro.exp`): :func:`sweep` and :func:`grid_sweep` keep their
+historical ``list[dict]`` signatures — including iterator-valued axes
+and per-value (ragged) result fields — by delegating to
+:func:`repro.exp.pipeline.iter_function_records`.  New code with
+uniform fields should prefer :func:`repro.exp.pipeline.function_sweep`,
+whose columnar :class:`~repro.exp.results.SweepResult` the rest of the
+pipeline consumes.
 """
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.crossbar.spec import CrossbarSpec
-from repro.fabrication.lithography import LithographyRules
 
 Record = dict[str, object]
 
@@ -24,13 +28,17 @@ def sweep(
     values: Iterable[object],
     evaluate: Callable[[object], Mapping[str, object]],
 ) -> list[Record]:
-    """One-dimensional sweep: evaluate each value, tag it with ``name``."""
-    out: list[Record] = []
-    for value in values:
-        record: Record = {name: value}
-        record.update(evaluate(value))
-        out.append(record)
-    return out
+    """One-dimensional sweep: evaluate each value, tag it with ``name``.
+
+    Compat shim over :func:`repro.exp.pipeline.iter_function_records`
+    (one axis); keeps the historical semantics exactly, including
+    iterator-valued ``values`` and per-value result fields.
+    """
+    from repro.exp.pipeline import iter_function_records
+
+    return list(
+        iter_function_records({name: values}, lambda **kw: evaluate(kw[name]))
+    )
 
 
 def grid_sweep(
@@ -39,16 +47,12 @@ def grid_sweep(
 ) -> list[Record]:
     """Full-factorial sweep over named axes.
 
-    ``evaluate`` receives the axis values as keyword arguments.
+    ``evaluate`` receives the axis values as keyword arguments.  Compat
+    shim over :func:`repro.exp.pipeline.iter_function_records`.
     """
-    names = list(axes.keys())
-    out: list[Record] = []
-    for combo in itertools.product(*(axes[k] for k in names)):
-        kwargs = dict(zip(names, combo))
-        record: Record = dict(kwargs)
-        record.update(evaluate(**kwargs))
-        out.append(record)
-    return out
+    from repro.exp.pipeline import iter_function_records
+
+    return list(iter_function_records(axes, evaluate))
 
 
 def spec_with(
@@ -65,29 +69,23 @@ def spec_with(
     time while keeping everything else at the calibrated defaults.
     """
     base = base or CrossbarSpec()
-    rules = base.rules
-    if contact_gap_factor is not None or alignment_tolerance_nm is not None:
-        rules = LithographyRules(
-            litho_pitch_nm=rules.litho_pitch_nm,
-            nanowire_pitch_nm=rules.nanowire_pitch_nm,
-            min_contact_width_factor=rules.min_contact_width_factor,
-            contact_gap_factor=(
-                rules.contact_gap_factor
-                if contact_gap_factor is None
-                else contact_gap_factor
-            ),
-            alignment_tolerance_nm=(
-                rules.alignment_tolerance_nm
-                if alignment_tolerance_nm is None
-                else alignment_tolerance_nm
-            ),
+    rule_changes = {
+        k: v
+        for k, v in (
+            ("contact_gap_factor", contact_gap_factor),
+            ("alignment_tolerance_nm", alignment_tolerance_nm),
         )
-    return replace(
-        base,
-        rules=rules,
-        window_margin=base.window_margin if window_margin is None else window_margin,
-        sigma_t=base.sigma_t if sigma_t is None else sigma_t,
-        nanowires_per_half_cave=(
-            base.nanowires_per_half_cave if nanowires is None else nanowires
-        ),
-    )
+        if v is not None
+    }
+    spec_changes = {
+        k: v
+        for k, v in (
+            ("window_margin", window_margin),
+            ("sigma_t", sigma_t),
+            ("nanowires_per_half_cave", nanowires),
+        )
+        if v is not None
+    }
+    if rule_changes:
+        spec_changes["rules"] = replace(base.rules, **rule_changes)
+    return replace(base, **spec_changes) if spec_changes else base

@@ -9,6 +9,8 @@ Examples
     python -m repro fig8 --csv fig8.csv
     python -m repro evaluate BGC -M 10
     python -m repro optimize --objective bit_area
+    python -m repro sweep --metric yield,area --jobs 4 --format csv
+    python -m repro sweep --axis sigma_t=0.03,0.05,0.08 --metric yield
     python -m repro simulate BGC -M 10 --samples 500
     python -m repro headline
     python -m repro theorems
@@ -81,6 +83,43 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("optimize", help="explore the design space")
     p.add_argument("--objective", default="bit_area",
                    choices=["complexity", "variability", "yield", "bit_area"])
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes for the exploration (0 = auto)")
+
+    p = sub.add_parser(
+        "sweep",
+        help="design-space sweep on the evaluation pipeline",
+        description=(
+            "Evaluate a full-factorial grid of design points "
+            "(families x lengths x spec axes) through the parallel, "
+            "cached exp pipeline and print a columnar result."
+        ),
+    )
+    p.add_argument("--families", default=",".join(["TC", "GC", "BGC", "HC", "AHC"]),
+                   help="comma-separated code families (default: all five)")
+    p.add_argument("--lengths", default="4,6,8,10",
+                   help="comma-separated total lengths M (default 4,6,8,10); "
+                        "inadmissible (family, M) pairs are skipped")
+    p.add_argument("-n", "--valence", type=int, default=2,
+                   help="logic valence (default 2)")
+    p.add_argument("--metric", default="yield",
+                   help="comma-separated metrics: yield,area,complexity,"
+                        "margins,montecarlo (default yield)")
+    p.add_argument("--axis", action="append", default=[],
+                   metavar="NAME=V1,V2,...",
+                   help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
+                        "(repeatable; crossed with the code grid)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (1 = serial, 0 = auto); results "
+                        "are identical for any value")
+    p.add_argument("--format", default="table",
+                   choices=["table", "csv", "json"],
+                   help="output format (default table)")
+    p.add_argument("--output", help="write the formatted result to this file")
+    p.add_argument("--mc-samples", type=int, default=256,
+                   help="trials per point for the montecarlo metric")
+    p.add_argument("--mc-seed", type=int, default=0,
+                   help="root seed for the montecarlo metric")
 
     p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
@@ -186,8 +225,75 @@ def _cmd_evaluate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     return render_table(["figure", "value"], rows, 4)
 
 
-def _cmd_optimize(spec: CrossbarSpec, objective: str) -> str:
-    result = explore_designs(objective, spec=spec)
+def _parse_axis_values(text: str) -> tuple[float, ...]:
+    """Parse one ``--axis`` value list, keeping ints exact (nanowires)."""
+    out = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        try:
+            out.append(int(chunk))
+        except ValueError:
+            out.append(float(chunk))
+    return tuple(out)
+
+
+def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    from repro.exp.designpoint import design_grid
+    from repro.exp.pipeline import SweepParams, default_jobs, run_sweep
+
+    axes = {}
+    for item in args.axis:
+        name, _, values = item.partition("=")
+        if not values:
+            raise SystemExit(
+                f"--axis expects NAME=V1,V2,..., got {item!r}"
+            )
+        try:
+            axes[name.strip()] = _parse_axis_values(values)
+        except ValueError:
+            raise SystemExit(f"--axis has a malformed value list: {item!r}")
+    try:
+        points = design_grid(
+            families=tuple(
+                f.strip() for f in args.families.split(",") if f.strip()
+            ),
+            lengths=tuple(int(m) for m in args.lengths.split(",") if m.strip()),
+            n=args.valence,
+            axes=axes,
+        )
+    except ValueError as exc:  # e.g. an unknown --axis override name
+        raise SystemExit(str(exc))
+    if not points:
+        raise SystemExit("the requested grid has no admissible design points")
+    result = run_sweep(
+        points,
+        metrics=tuple(m.strip() for m in args.metric.split(",") if m.strip()),
+        spec=spec,
+        jobs=args.jobs if args.jobs >= 1 else default_jobs(),
+        params=SweepParams(mc_samples=args.mc_samples, mc_seed=args.mc_seed),
+    )
+    if args.format == "csv":
+        out = result.to_csv_string().rstrip("\n")
+    elif args.format == "json":
+        out = result.to_json_string().rstrip("\n")
+    else:
+        fields = list(result.fields)
+        rows = [[rec[f] for f in fields] for rec in result.to_records()]
+        out = render_table(fields, rows, 4) + f"\n\n{len(result)} design points"
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(out + "\n")
+        return f"wrote {args.output} ({len(result)} design points)"
+    return out
+
+
+def _cmd_optimize(spec: CrossbarSpec, objective: str, jobs: int = 1) -> str:
+    from repro.exp.pipeline import default_jobs
+
+    result = explore_designs(
+        objective, spec=spec, jobs=jobs if jobs >= 1 else default_jobs()
+    )
     rows = [
         [
             p.label,
@@ -330,7 +436,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif args.command == "evaluate":
         out = _cmd_evaluate(spec, args)
     elif args.command == "optimize":
-        out = _cmd_optimize(spec, args.objective)
+        out = _cmd_optimize(spec, args.objective, args.jobs)
+    elif args.command == "sweep":
+        out = _cmd_sweep(spec, args)
     elif args.command == "simulate":
         out = _cmd_simulate(spec, args)
     elif args.command == "headline":

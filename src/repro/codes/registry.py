@@ -14,6 +14,7 @@ the single entry point used by the simulation platform and benches:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable
 
 from repro.codes.arranged import ArrangedHotCode
@@ -59,7 +60,25 @@ def make_code(family: str, n: int, total_length: int) -> CodeSpace:
         raise CodeError(
             f"unknown code family {family!r}; expected one of {ALL_FAMILIES}"
         )
+    return _build_code(key, int(n), int(total_length))
+
+
+@lru_cache(maxsize=None)
+def _build_code(key: str, n: int, total_length: int) -> CodeSpace:
+    """Memoized builder behind :func:`make_code`.
+
+    CodeSpace is immutable, so one instance per (family, n, M) can be
+    shared by every sweep/decoder; the family name is normalised before
+    the cache so ``"bgc"`` and ``"BGC"`` share an entry.  Failed builds
+    (CodeError) are never cached.
+    """
     return _BUILDERS[key](n, total_length)
+
+
+#: Cache introspection for the memoized code builder (exp pipeline uses
+#: these to report/clear per-process cache state).
+make_code.cache_info = _build_code.cache_info  # type: ignore[attr-defined]
+make_code.cache_clear = _build_code.cache_clear  # type: ignore[attr-defined]
 
 
 def family_lengths(family: str, lengths: tuple[int, ...] | None = None) -> tuple[int, ...]:

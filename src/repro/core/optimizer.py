@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.codes.base import CodeError
 from repro.codes.registry import ALL_FAMILIES, make_code
 from repro.core.design import DecoderDesign
 from repro.core.objectives import get_objective
@@ -20,6 +19,17 @@ from repro.crossbar.spec import CrossbarSpec
 
 #: Default length sweep of the paper's evaluation (total length M).
 DEFAULT_LENGTHS = (4, 6, 8, 10)
+
+#: Pipeline metric and result column backing each named objective,
+#: plus the sign turning the column into a lower-is-better cost.
+_OBJECTIVE_COLUMNS: dict[str, tuple[str, str, float]] = {
+    "complexity": ("complexity", "phi", 1.0),
+    "variability": ("complexity", "sigma_norm_V2", 1.0),
+    "yield": ("yield", "cave_yield", -1.0),
+    "bit_area": ("area", "effective_bit_area_nm2", 1.0),
+}
+# every OBJECTIVES entry needs a pipeline column and vice versa;
+# tests/test_exp_pipeline.py asserts the two tables stay in sync
 
 
 @dataclass(frozen=True)
@@ -58,31 +68,49 @@ def explore_designs(
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     n: int = 2,
     spec: CrossbarSpec | None = None,
+    jobs: int = 1,
 ) -> ExplorationResult:
     """Score every admissible (family, length) point with ``objective``.
 
     Lengths that a family cannot realise (odd lengths for reflected
-    codes, lengths not divisible by n for hot codes) are skipped.
+    codes, lengths not divisible by n for hot codes) are skipped.  The
+    admissible grid is evaluated through the design-space pipeline
+    (:mod:`repro.exp`): named objectives map onto pipeline metric
+    columns, so scoring shares the memoized code/decoder construction
+    and parallelises with ``jobs``; unnamed (callable-registered)
+    objectives are not supported here — register a pipeline evaluator
+    instead.
     """
+    from repro.exp.designpoint import design_grid
+    from repro.exp.pipeline import run_sweep
+
     spec = spec or CrossbarSpec()
-    score = get_objective(objective)
-    points: list[ExplorationPoint] = []
-    for family in families:
-        for length in lengths:
-            try:
-                space = make_code(family, n, length)
-            except CodeError:
-                continue
-            design = DecoderDesign(space=space, spec=spec)
-            points.append(
-                ExplorationPoint(design=design, cost=score(spec, space))
-            )
-    if not points:
+    get_objective(objective)  # validate the name early, KeyError like before
+    key = objective.strip().lower()
+    if key not in _OBJECTIVE_COLUMNS:
+        raise KeyError(
+            f"objective {objective!r} has no pipeline column mapping; "
+            "register a pipeline evaluator and extend _OBJECTIVE_COLUMNS"
+        )
+    metric, column, sign = _OBJECTIVE_COLUMNS[key]
+    grid = design_grid(families, lengths, n)
+    if not grid:
         raise ValueError(
             f"no admissible design points for families={families}, "
             f"lengths={lengths}, n={n}"
         )
-    return ExplorationResult(objective=objective, points=tuple(points))
+    result = run_sweep(grid, metrics=(metric,), spec=spec, jobs=jobs)
+    costs = result.column(column)
+    points = tuple(
+        ExplorationPoint(
+            design=DecoderDesign(
+                space=make_code(p.family, p.n, p.total_length), spec=spec
+            ),
+            cost=sign * float(costs[i]),
+        )
+        for i, p in enumerate(grid)
+    )
+    return ExplorationResult(objective=objective, points=points)
 
 
 def optimize_design(
@@ -91,6 +119,9 @@ def optimize_design(
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     n: int = 2,
     spec: CrossbarSpec | None = None,
+    jobs: int = 1,
 ) -> DecoderDesign:
     """Best design point for ``objective`` (convenience wrapper)."""
-    return explore_designs(objective, families, lengths, n, spec).best.design
+    return explore_designs(
+        objective, families, lengths, n, spec, jobs=jobs
+    ).best.design

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.codes.base import CodeSpace
-from repro.codes.registry import make_code
 from repro.crossbar.geometry import CrossbarFloorplan
 from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import YieldReport, crossbar_yield, decoder_for
@@ -63,6 +62,29 @@ def family_area_sweep(
     family: str,
     lengths: tuple[int, ...],
     n: int = 2,
+    jobs: int = 1,
 ) -> list[AreaReport]:
-    """Bit-area reports of one code family across lengths (a Fig. 8 group)."""
-    return [effective_bit_area(spec, make_code(family, n, m)) for m in lengths]
+    """Bit-area reports of one code family across lengths (a Fig. 8 group).
+
+    Runs on the design-space evaluation pipeline (:mod:`repro.exp`);
+    the ``area`` evaluator shares its memoized decoder with the yield
+    metric, so combined yield+area sweeps build each point once.
+    """
+    from repro.exp.designpoint import DesignPoint
+    from repro.exp.pipeline import run_sweep
+
+    points = [DesignPoint.make(family, m, n) for m in lengths]
+    result = run_sweep(points, metrics=("area",), spec=spec, jobs=jobs)
+    return [area_report_from_record(rec) for rec in result.to_records()]
+
+
+def area_report_from_record(rec: dict) -> AreaReport:
+    """Rebuild an :class:`AreaReport` from a pipeline ``area`` row."""
+    return AreaReport(
+        code_name=rec["code_name"],
+        code_length=rec["total_length"],
+        total_area_nm2=rec["total_area_nm2"],
+        raw_bit_area_nm2=rec["raw_bit_area_nm2"],
+        effective_bit_area_nm2=rec["effective_bit_area_nm2"],
+        cave_yield=rec["cave_yield"],
+    )

@@ -16,9 +16,9 @@ if both of its wires are addressable, so the effective density is
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.codes.base import CodeSpace
-from repro.codes.registry import make_code
 from repro.crossbar.spec import CrossbarSpec
 from repro.decoder.decoder import HalfCaveDecoder
 from repro.device.threshold import LevelScheme
@@ -44,8 +44,20 @@ class YieldReport:
         return self.cave_yield**2
 
 
+@lru_cache(maxsize=256)
 def decoder_for(spec: CrossbarSpec, space: CodeSpace) -> HalfCaveDecoder:
-    """Half-cave decoder configured per the platform spec."""
+    """Half-cave decoder configured per the platform spec.
+
+    Memoized per process: spec and space are both immutable/hashable and
+    :class:`HalfCaveDecoder` is a frozen facade whose derived matrices
+    are cached properties, so design-space sweeps that revisit a
+    (spec, code) point — or evaluate several metrics on it — share one
+    decoder instead of rebuilding the doping/variability stack each time.
+    Note the cache keys on :class:`CodeSpace` *equality* (words, n,
+    reflection), which ignores the display name: two word-identical
+    spaces with different names share a decoder, so ``decoder.space``
+    may report the first-seen name.  All numeric figures are unaffected.
+    """
     scheme = LevelScheme(space.n, window_margin=spec.window_margin)
     return HalfCaveDecoder(
         space=space,
@@ -83,6 +95,32 @@ def family_yield_sweep(
     family: str,
     lengths: tuple[int, ...],
     n: int = 2,
+    jobs: int = 1,
 ) -> list[YieldReport]:
-    """Yield reports of one code family across lengths (a Fig. 7 curve)."""
-    return [crossbar_yield(spec, make_code(family, n, m)) for m in lengths]
+    """Yield reports of one code family across lengths (a Fig. 7 curve).
+
+    Runs on the design-space evaluation pipeline (:mod:`repro.exp`), so
+    revisited (spec, code) points share memoized decoders and ``jobs``
+    fans the lengths out over worker processes.
+    """
+    from repro.exp.designpoint import DesignPoint
+    from repro.exp.pipeline import run_sweep
+
+    points = [DesignPoint.make(family, m, n) for m in lengths]
+    result = run_sweep(points, metrics=("yield",), spec=spec, jobs=jobs)
+    return [yield_report_from_record(rec) for rec in result.to_records()]
+
+
+def yield_report_from_record(rec: dict) -> YieldReport:
+    """Rebuild a :class:`YieldReport` from a pipeline ``yield`` row."""
+    return YieldReport(
+        code_name=rec["code_name"],
+        code_length=rec["total_length"],
+        code_space=rec["code_space"],
+        groups=rec["groups"],
+        electrical_yield=rec["electrical_yield"],
+        geometric_yield=rec["geometric_yield"],
+        cave_yield=rec["cave_yield"],
+        raw_bits=rec["raw_bits"],
+        effective_bits=rec["effective_bits"],
+    )

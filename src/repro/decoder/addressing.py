@@ -38,17 +38,19 @@ def conducting_wires(patterns: np.ndarray, address: np.ndarray) -> np.ndarray:
 
 
 def addresses_unique_wire(patterns: np.ndarray) -> bool:
-    """True if every pattern, used as an address, selects exactly itself."""
+    """True if every pattern, used as an address, selects exactly itself.
+
+    Address ``i`` turns on wire ``j`` iff ``p[j] <= p[i]`` component-wise,
+    so the code addresses uniquely iff the domination matrix equals the
+    pattern-equality matrix: a wire may only conduct under addresses that
+    carry its own pattern (duplicated rows select all their copies).
+    """
     p = np.asarray(patterns)
-    for i in range(p.shape[0]):
-        hits = conducting_wires(p, p[i])
-        selected = {int(h) for h in hits}
-        expected = {
-            j for j in range(p.shape[0]) if (p[j] == p[i]).all()
-        }
-        if selected != expected:
-            return False
-    return True
+    if p.ndim != 2:
+        raise ValueError(f"expected a 2-D pattern matrix, got shape {p.shape}")
+    conducts = (p[None, :, :] <= p[:, None, :]).all(axis=-1)
+    same = (p[None, :, :] == p[:, None, :]).all(axis=-1)
+    return bool((conducts == same).all())
 
 
 def wire_addressability(

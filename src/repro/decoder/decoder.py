@@ -12,7 +12,7 @@ area.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 
 import numpy as np
 
@@ -30,6 +30,70 @@ from repro.device.variability import DEFAULT_SIGMA_T
 from repro.fabrication.complexity import plan_complexity
 from repro.fabrication.doping import DopingPlan, default_digit_map
 from repro.fabrication.lithography import LithographyRules
+
+# -- memoized fabrication layers ----------------------------------------------
+#
+# The pattern matrix, doping plan, dose counts and contact-group plan
+# are pure functions of hashable inputs and independent of the two
+# "electrical" spec knobs (sigma_T and the window margin): the doping
+# plan follows from the nominal VT level placement alone.  Memoizing
+# them at module level lets every decoder of a design-space sweep that
+# shares a (code, N) point — across arbitrary sigma/margin
+# perturbations — reuse one set of fabrication matrices, which is where
+# most of a decoder's construction time goes.  Callers treat the
+# returned arrays as read-only, as they already must for the decoder's
+# own cached properties.
+
+
+def _frozen(arr: np.ndarray) -> np.ndarray:
+    """Mark a cached array read-only so shared-state mutation errors out."""
+    arr.setflags(write=False)
+    return arr
+
+
+@lru_cache(maxsize=512)
+def _patterns_cached(space: CodeSpace, nanowires: int) -> np.ndarray:
+    return _frozen(pattern_matrix(space, nanowires))
+
+
+@lru_cache(maxsize=512)
+def _doping_plan_cached(
+    space: CodeSpace, nanowires: int, vt_min: float, vt_max: float
+) -> DopingPlan:
+    scheme = LevelScheme(space.n, vt_min=vt_min, vt_max=vt_max)
+    digit_map = default_digit_map(space.n, scheme)
+    plan = DopingPlan.from_pattern(
+        _patterns_cached(space, nanowires), digit_map
+    )
+    _frozen(plan.pattern), _frozen(plan.final), _frozen(plan.steps)
+    return plan
+
+
+@lru_cache(maxsize=512)
+def _dose_counts_cached(
+    space: CodeSpace, nanowires: int, vt_min: float, vt_max: float
+) -> np.ndarray:
+    return _frozen(
+        dose_count_matrix(
+            _doping_plan_cached(space, nanowires, vt_min, vt_max).steps
+        )
+    )
+
+
+@lru_cache(maxsize=512)
+def _group_plan_cached(
+    nanowires: int, code_size: int, rules: LithographyRules
+) -> ContactGroupPlan:
+    return plan_contact_groups(nanowires, code_size, rules)
+
+
+#: The memoized fabrication-layer builders (exp pipeline cache registry).
+FABRICATION_CACHES = (
+    _patterns_cached,
+    _doping_plan_cached,
+    _dose_counts_cached,
+    _group_plan_cached,
+)
 
 
 @dataclass(frozen=True)
@@ -71,14 +135,15 @@ class HalfCaveDecoder:
 
     @cached_property
     def patterns(self) -> np.ndarray:
-        """N x M pattern matrix."""
-        return pattern_matrix(self.space, self.nanowires)
+        """N x M pattern matrix (shared, treat as read-only)."""
+        return _patterns_cached(self.space, self.nanowires)
 
     @cached_property
     def plan(self) -> DopingPlan:
-        """Doping plan (P, D, S matrices)."""
-        digit_map = default_digit_map(self.space.n, self.scheme)
-        return DopingPlan.from_pattern(self.patterns, digit_map)
+        """Doping plan (P, D, S matrices); memoized per (code, N, levels)."""
+        return _doping_plan_cached(
+            self.space, self.nanowires, self.scheme.vt_min, self.scheme.vt_max
+        )
 
     @property
     def fabrication_complexity(self) -> int:
@@ -89,8 +154,10 @@ class HalfCaveDecoder:
 
     @cached_property
     def nu(self) -> np.ndarray:
-        """Dose-count matrix (Def. 5)."""
-        return dose_count_matrix(self.plan.steps)
+        """Dose-count matrix (Def. 5); shared, treat as read-only."""
+        return _dose_counts_cached(
+            self.space, self.nanowires, self.scheme.vt_min, self.scheme.vt_max
+        )
 
     @cached_property
     def sigma(self) -> np.ndarray:
@@ -112,7 +179,7 @@ class HalfCaveDecoder:
     @cached_property
     def group_plan(self) -> ContactGroupPlan:
         """Contact-group partition for this code's space size."""
-        return plan_contact_groups(self.nanowires, self.space.size, self.rules)
+        return _group_plan_cached(self.nanowires, self.space.size, self.rules)
 
     @cached_property
     def montecarlo_kernel(self):

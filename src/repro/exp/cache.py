@@ -1,0 +1,110 @@
+"""Per-process memoization for the design-space evaluation pipeline.
+
+Three construction steps dominate a sweep's overhead and are all pure
+functions of hashable inputs, so each worker process memoizes them:
+
+* code spaces — ``repro.codes.registry.make_code`` (lru-cached at the
+  registry so every caller in the library shares entries);
+* half-cave decoders — ``repro.crossbar.yield_model.decoder_for``
+  (lru-cached at the model; the decoder's derived matrices are cached
+  properties, so yield/area/complexity metrics on one point share one
+  construction), plus the fabrication layers underneath
+  (``repro.decoder.decoder.FABRICATION_CACHES``: pattern matrix,
+  doping plan, dose counts, contact groups), which are independent of
+  the electrical spec knobs and therefore shared across a whole
+  sigma_T / window-margin perturbation grid;
+* perturbed specs — :func:`cached_spec` here, keyed on the base spec
+  plus the sorted override tuple of a :class:`DesignPoint`.
+
+The helpers below aggregate those caches so tests and benchmarks can
+inspect hit counts and reset state between timed runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from functools import lru_cache
+
+from repro.codes.registry import make_code
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import decoder_for
+from repro.decoder.decoder import FABRICATION_CACHES
+
+#: Override names living on the lithography-rules sub-spec.
+_RULE_FIELDS = ("contact_gap_factor", "alignment_tolerance_nm")
+
+#: Override name -> CrossbarSpec field for the remaining knobs.
+_SPEC_FIELDS = {
+    "window_margin": "window_margin",
+    "sigma_t": "sigma_t",
+    "nanowires": "nanowires_per_half_cave",
+}
+
+#: Every spec parameter a design point may override — the single source
+#: of truth; ``DesignPoint.make`` validates against this tuple, and the
+#: knob set mirrors :func:`repro.analysis.sweeps.spec_with` (which sits
+#: above this layer).
+SPEC_OVERRIDE_KEYS = (*_SPEC_FIELDS, *_RULE_FIELDS)
+
+
+@lru_cache(maxsize=1024)
+def cached_spec(
+    base: CrossbarSpec,
+    overrides: tuple[tuple[str, float], ...],
+) -> CrossbarSpec:
+    """The base spec with a design point's overrides applied, memoized.
+
+    Matches ``repro.analysis.sweeps.spec_with`` (which sits above this
+    layer) knob for knob.  A grid typically crosses a handful of spec
+    perturbations with many code points, so every perturbed spec is
+    requested once per code — memoizing keeps one canonical instance
+    per perturbation, which in turn makes the decoder cache key
+    identical across those requests.
+    """
+    if not overrides:
+        return base
+    unknown = sorted(
+        k for k, _ in overrides
+        if k not in _RULE_FIELDS and k not in _SPEC_FIELDS
+    )
+    if unknown:
+        raise ValueError(
+            f"unknown spec override(s) {unknown}; expected a subset of "
+            f"{sorted((*_RULE_FIELDS, *_SPEC_FIELDS))}"
+        )
+    rule_changes = {k: v for k, v in overrides if k in _RULE_FIELDS}
+    spec_changes = {
+        _SPEC_FIELDS[k]: v for k, v in overrides if k in _SPEC_FIELDS
+    }
+    if rule_changes:
+        spec_changes["rules"] = replace(base.rules, **rule_changes)
+    return replace(base, **spec_changes)
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters of every pipeline cache, keyed by cache name."""
+    out: dict[str, dict[str, int]] = {}
+    for name, info in (
+        ("make_code", make_code.cache_info()),
+        ("decoder_for", decoder_for.cache_info()),
+        ("cached_spec", cached_spec.cache_info()),
+        *(
+            (fn.__name__.strip("_"), fn.cache_info())
+            for fn in FABRICATION_CACHES
+        ),
+    ):
+        out[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+        }
+    return out
+
+
+def clear_caches() -> None:
+    """Reset every pipeline cache (benchmarks call this between runs)."""
+    make_code.cache_clear()
+    decoder_for.cache_clear()
+    cached_spec.cache_clear()
+    for fn in FABRICATION_CACHES:
+        fn.cache_clear()

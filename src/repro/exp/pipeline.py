@@ -1,0 +1,317 @@
+"""Design-space evaluation pipeline: cached, parallel, columnar sweeps.
+
+The single engine behind every analytic sweep in the repo — the Fig. 5-8
+data generators, ``family_yield_sweep`` / ``family_area_sweep``, the
+design optimizer, and the ``repro sweep`` CLI all run here.  A sweep is
+
+1. an iterable of :class:`~repro.exp.designpoint.DesignPoint` (the
+   hashable unit of work),
+2. a tuple of named *evaluators* (yield, area, complexity, margins,
+   Monte-Carlo via the batched sim engine) applied to each point, and
+3. an executor: chunked serial, or a ``ProcessPoolExecutor`` when
+   ``jobs > 1``.
+
+Each process memoizes code-space and decoder construction (see
+:mod:`repro.exp.cache`), so multi-metric sweeps build each (spec, code)
+decoder once instead of once per metric per point.  Results come back
+as a columnar :class:`~repro.exp.results.SweepResult`; ordering — and
+therefore the serialised bytes — is identical for any ``jobs``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.codes.base import CodeSpace
+from repro.crossbar.area import effective_bit_area
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import crossbar_yield, decoder_for
+from repro.device.threshold import LevelScheme
+from repro.exp.designpoint import DesignPoint
+from repro.exp.results import Record, SweepResult
+
+
+@dataclass(frozen=True)
+class SweepParams:
+    """Evaluator tuning knobs that are not part of the design point."""
+
+    mc_samples: int = 256
+    mc_seed: int = 0
+    mc_chunk: int = 65_536
+    k_sigma: float = 3.0
+
+
+#: Evaluator signature: (spec, code, params) -> metric columns.
+Evaluator = Callable[[CrossbarSpec, CodeSpace, SweepParams], Mapping[str, object]]
+
+
+def _eval_yield(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Analytic cave-yield figures (Fig. 7 metric) of one point."""
+    r = crossbar_yield(spec, space)
+    return {
+        "code_name": r.code_name,
+        "code_space": r.code_space,
+        "groups": r.groups,
+        "electrical_yield": r.electrical_yield,
+        "geometric_yield": r.geometric_yield,
+        "cave_yield": r.cave_yield,
+        "raw_bits": r.raw_bits,
+        "effective_bits": r.effective_bits,
+    }
+
+
+def _eval_area(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Floorplan / effective-bit-area figures (Fig. 8 metric)."""
+    r = effective_bit_area(spec, space)
+    return {
+        "code_name": r.code_name,
+        "total_area_nm2": r.total_area_nm2,
+        "raw_bit_area_nm2": r.raw_bit_area_nm2,
+        "effective_bit_area_nm2": r.effective_bit_area_nm2,
+        "cave_yield": r.cave_yield,
+    }
+
+
+def _eval_complexity(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Fabrication complexity and variability cost (Prop. 3 metrics)."""
+    decoder = decoder_for(spec, space)
+    return {
+        "phi": decoder.fabrication_complexity,
+        "sigma_norm_V2": decoder.sigma_norm,
+        "average_variability_V2": decoder.average_variability,
+    }
+
+
+def _eval_margins(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Worst-case k-sigma sense margins of the half cave.
+
+    Computed from the memoized decoder's pattern/dose matrices (the
+    same inputs :func:`repro.decoder.margins.margin_report` derives
+    from scratch), so margin grids share the fabrication caches.
+    """
+    from repro.decoder.margins import block_margins, select_margins
+
+    decoder = decoder_for(spec, space)
+    select = select_margins(
+        decoder.patterns, decoder.nu, decoder.scheme,
+        spec.sigma_t, params.k_sigma,
+    )
+    block = block_margins(
+        decoder.patterns, decoder.nu, decoder.scheme,
+        spec.sigma_t, params.k_sigma,
+    )
+    select_v = float(select.min())
+    block_v = float(block.min())
+    return {
+        "select_margin_v": select_v,
+        "block_margin_v": block_v,
+        "margin_passes": bool(select_v > 0 and block_v > 0),
+    }
+
+
+def _eval_montecarlo(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Batched Monte-Carlo cross-check (PR-1 sim engine).
+
+    Every point uses the same root seed, so a point's estimate depends
+    only on (spec, code, params) — never on its position in the grid or
+    on the executor; sweeps stay byte-reproducible at any ``jobs``.
+    """
+    from repro.sim.engine import simulate_cave_yield_batched
+
+    mc = simulate_cave_yield_batched(
+        spec,
+        space,
+        samples=params.mc_samples,
+        seed=params.mc_seed,
+        max_trials_per_chunk=params.mc_chunk,
+    )
+    return {
+        "mc_samples": mc.samples,
+        "mc_cave_yield": mc.mean_cave_yield,
+        "mc_stderr": mc.stderr,
+        "mc_electrical_yield": mc.mean_electrical_yield,
+        "mc_geometric_yield": mc.mean_geometric_yield,
+    }
+
+
+EVALUATORS: dict[str, Evaluator] = {
+    "yield": _eval_yield,
+    "area": _eval_area,
+    "complexity": _eval_complexity,
+    "margins": _eval_margins,
+    "montecarlo": _eval_montecarlo,
+}
+
+
+def register_evaluator(name: str, evaluator: Evaluator) -> None:
+    """Register a custom metric evaluator under ``name``."""
+    EVALUATORS[str(name)] = evaluator
+
+
+def resolve_metrics(metrics: Sequence[str]) -> tuple[str, ...]:
+    """Validate metric names against the evaluator registry."""
+    out = tuple(metrics)
+    unknown = sorted(set(out) - set(EVALUATORS))
+    if not out or unknown:
+        raise KeyError(
+            f"unknown metric(s) {unknown or list(out)}; "
+            f"available: {sorted(EVALUATORS)}"
+        )
+    return out
+
+
+def evaluate_point(
+    point: DesignPoint,
+    spec: CrossbarSpec | None = None,
+    metrics: Sequence[str] = ("yield",),
+    params: SweepParams = SweepParams(),
+) -> Record:
+    """One result row: the point's axes plus every metric's columns."""
+    resolved = point.resolved_spec(spec)
+    space = point.code()
+    record: Record = point.axes()
+    for name in resolve_metrics(metrics):
+        record.update(EVALUATORS[name](resolved, space, params))
+    return record
+
+
+def _evaluate_chunk(
+    points: Sequence[DesignPoint],
+    spec: CrossbarSpec | None,
+    metrics: tuple[str, ...],
+    params: SweepParams,
+) -> list[Record]:
+    """Worker entry point: evaluate one chunk of points in order."""
+    return [evaluate_point(p, spec, metrics, params) for p in points]
+
+
+def _chunked(
+    points: Sequence[DesignPoint], size: int
+) -> list[Sequence[DesignPoint]]:
+    return [points[i : i + size] for i in range(0, len(points), size)]
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    """Worker pool; fork start method keeps warm caches where available."""
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = None
+    return ProcessPoolExecutor(max_workers=jobs, mp_context=ctx)
+
+
+def run_sweep(
+    points: Iterable[DesignPoint],
+    metrics: Sequence[str] = ("yield",),
+    *,
+    spec: CrossbarSpec | None = None,
+    jobs: int = 1,
+    chunksize: int | None = None,
+    params: SweepParams = SweepParams(),
+) -> SweepResult:
+    """Evaluate ``metrics`` on every design point, columnar result.
+
+    Parameters
+    ----------
+    points:
+        Design points, evaluated in iteration order (row order of the
+        result is the point order, independent of the executor).
+    metrics:
+        Evaluator names from :data:`EVALUATORS`, applied left to right.
+    spec:
+        Base platform spec; each point's overrides perturb it.
+    jobs:
+        1 = chunked serial in-process; > 1 = that many worker
+        processes.  Results are identical either way.
+    chunksize:
+        Points per task; defaults to ~4 tasks per worker.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("no design points to evaluate")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    override_sets = {tuple(k for k, _ in p.overrides) for p in pts}
+    if len(override_sets) > 1:
+        raise ValueError(
+            "design points must share one spec-override set to form "
+            f"uniform columns; got {sorted(override_sets)}"
+        )
+    names = resolve_metrics(metrics)
+    jobs = min(jobs, len(pts))
+    if chunksize is None:
+        chunksize = max(1, -(-len(pts) // (jobs * 4)))
+    chunks = _chunked(pts, chunksize)
+
+    if jobs == 1:
+        record_chunks = [
+            _evaluate_chunk(chunk, spec, names, params) for chunk in chunks
+        ]
+    else:
+        with _pool(jobs) as pool:
+            record_chunks = list(
+                pool.map(
+                    _evaluate_chunk,
+                    chunks,
+                    [spec] * len(chunks),
+                    [names] * len(chunks),
+                    [params] * len(chunks),
+                )
+            )
+    records = [r for chunk in record_chunks for r in chunk]
+    return SweepResult.from_records(records)
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` (auto): CPUs, capped at 8."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def iter_function_records(
+    axes: Mapping[str, Iterable[object]],
+    evaluate: Callable[..., Mapping[str, object]],
+) -> Iterator[Record]:
+    """Full-factorial records of an arbitrary evaluate callable.
+
+    ``evaluate`` receives one keyword argument per axis; each yielded
+    record is the axis values plus the evaluation's outputs.  Axis
+    values may be any iterable (materialised once), and records may
+    carry non-uniform fields — this is the legacy-faithful engine
+    behind the ``repro.analysis.sweeps`` compat shims.
+    """
+    import itertools
+
+    names = list(axes.keys())
+    values = [list(axes[k]) for k in names]
+    for combo in itertools.product(*values):
+        kwargs = dict(zip(names, combo))
+        record: Record = dict(kwargs)
+        record.update(evaluate(**kwargs))
+        yield record
+
+
+def function_sweep(
+    axes: Mapping[str, Iterable[object]],
+    evaluate: Callable[..., Mapping[str, object]],
+) -> SweepResult:
+    """Columnar full-factorial sweep of an arbitrary evaluate callable.
+
+    Like :func:`iter_function_records` but collected into a
+    :class:`SweepResult`, which requires uniform record fields.
+    """
+    return SweepResult.from_records(list(iter_function_records(axes, evaluate)))
