@@ -56,6 +56,22 @@ def main() -> None:
     print(f"Read    : {recovered.decode()!r}")
     print(f"Intact  : {recovered == MESSAGE}")
 
+    # -- fleet-level traffic (workload engine) -------------------------------
+    from repro import MemoryFleet, make_trace
+
+    fleet = MemoryFleet.sample(spec, code, instances=8, seed=7)
+    trace = make_trace(
+        "zipfian", 200_000, int(analytic.effective_bits), seed=7
+    )
+    result = fleet.run(trace)
+    print(f"\nFleet of {fleet.instances} instances under "
+          f"{trace.accesses:,} zipfian accesses:")
+    print(f"Effective capacity  : {result['effective_capacity_bits'].mean:,.0f} "
+          f"+- {result['effective_capacity_bits'].std:,.0f} bits")
+    print(f"Access-failure rate : {100 * result['failure_rate'].mean:.3f}%")
+    print(f"First failure after : {result['first_failure_index'].mean:,.0f} "
+          f"accesses (mean)")
+
 
 if __name__ == "__main__":
     main()

@@ -13,7 +13,7 @@ cd "$(dirname "$0")"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== tier-1 tests =="
-python -m pytest -x -q tests
+python -m pytest -x -q --durations=10 tests
 
 echo
 echo "== sim-engine perf smoke =="
@@ -37,6 +37,20 @@ else
     # same grid, looser floor so container noise cannot flake it
     SWEEP_BENCH_MIN_SPEEDUP=2 \
     python -m pytest -q benchmarks/bench_sweep_pipeline.py
+fi
+
+echo
+echo "== workload perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: 1M-access zipfian trace, 32 instances, >= 10x
+    python -m pytest -q benchmarks/bench_workload.py
+else
+    # smaller trace/fleet with a loose floor so container noise cannot
+    # flake it; correctness gates (loop equivalence, chunk invariance)
+    # run at full strictness either way
+    WORKLOAD_BENCH_ACCESSES=200000 WORKLOAD_BENCH_INSTANCES=8 \
+    WORKLOAD_BENCH_LOOP_ACCESSES=10000 WORKLOAD_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_workload.py
 fi
 
 echo

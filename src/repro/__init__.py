@@ -20,6 +20,10 @@ The library models the full MSPT decoder stack:
 * ``repro.exp`` — the design-space evaluation pipeline: parallel,
   cached, columnar sweeps of analytic design points (the engine under
   every figure generator, family sweep and the optimizer);
+* ``repro.workload`` — the trace-driven memory workload engine:
+  synthetic traffic (uniform/sequential/zipfian/bursty) replayed over
+  fleets of sampled defective crossbar instances with vectorised
+  defect-aware remapping and optional SECDED repair;
 * ``repro.analysis`` — figure data generators and headline statistics;
 * ``repro.core`` — the high-level :class:`DecoderDesign` API, design
   optimisation and executable theorem checks.
@@ -58,6 +62,7 @@ from repro.sim import (
     StreamingMoments,
     simulate_cave_yield_batched,
 )
+from repro.workload import MemoryFleet, Trace, make_trace
 
 __version__ = "1.0.0"
 
@@ -73,9 +78,11 @@ __all__ = [
     "GrayCode",
     "HalfCaveDecoder",
     "HotCode",
+    "MemoryFleet",
     "MonteCarloEngine",
     "ProcessFlow",
     "StreamingMoments",
+    "Trace",
     "TreeCode",
     "__version__",
     "crossbar_yield",
@@ -85,6 +92,7 @@ __all__ = [
     "explore_designs",
     "fabrication_complexity",
     "make_code",
+    "make_trace",
     "optimize_design",
     "run_sweep",
     "sample_defect_map",

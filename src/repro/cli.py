@@ -12,6 +12,8 @@ Examples
     python -m repro sweep --metric yield,area --jobs 4 --format csv
     python -m repro sweep --axis sigma_t=0.03,0.05,0.08 --metric yield
     python -m repro simulate BGC -M 10 --samples 500
+    python -m repro memsim BGC -M 10 --trace zipfian --accesses 1000000
+    python -m repro memsim BGC -M 10 --ecc --error-rate 0.001 --format json
     python -m repro headline
     python -m repro theorems
     python -m repro baselines
@@ -104,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="logic valence (default 2)")
     p.add_argument("--metric", default="yield",
                    help="comma-separated metrics: yield,area,complexity,"
-                        "margins,montecarlo (default yield)")
+                        "margins,montecarlo,workload (default yield)")
     p.add_argument("--axis", action="append", default=[],
                    metavar="NAME=V1,V2,...",
                    help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
@@ -118,8 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", help="write the formatted result to this file")
     p.add_argument("--mc-samples", type=int, default=256,
                    help="trials per point for the montecarlo metric")
-    p.add_argument("--mc-seed", type=int, default=0,
-                   help="root seed for the montecarlo metric")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed of the stochastic metrics (montecarlo, "
+                        "workload); results are deterministic per seed and "
+                        "identical for any --jobs")
+    p.add_argument("--mc-seed", type=int, default=None,
+                   help="override the montecarlo root seed (default: --seed)")
+    p.add_argument("--wl-trace", default="zipfian",
+                   choices=["uniform", "sequential", "zipfian", "bursty"],
+                   help="trace kind for the workload metric (default zipfian)")
+    p.add_argument("--wl-accesses", type=int, default=4096,
+                   help="trace length per point for the workload metric")
+    p.add_argument("--wl-instances", type=int, default=4,
+                   help="sampled crossbar instances per point for the "
+                        "workload metric")
+    p.add_argument("--wl-ecc", action="store_true",
+                   help="protect the workload metric's payloads with SECDED")
+    p.add_argument("--wl-error-rate", type=float, default=0.0,
+                   help="per-stored-bit write-error probability for the "
+                        "workload metric (pairs with --wl-ecc to exercise "
+                        "corrected/uncorrectable counts)")
 
     p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
@@ -128,13 +148,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--samples", type=int, default=300,
                    help="Monte-Carlo trials (batched engine scales to "
                         "millions; default 300)")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed; results are deterministic per "
+                        "(seed, --samples) and independent of --chunk-size")
     p.add_argument("--chunk-size", type=int, default=65536,
                    help="max trials held in memory at once (default 65536; "
                         "does not change results)")
     p.add_argument("--method", default="batched", choices=["batched", "loop"],
                    help="batched sim engine (default) or the legacy "
                         "per-trial reference loop")
+
+    p = sub.add_parser(
+        "memsim",
+        help="trace-driven memory workload over a fleet of instances",
+        description=(
+            "Sample a fleet of defective crossbar instances, replay a "
+            "synthetic access trace on every instance through the "
+            "vectorised workload engine, and report effective capacity, "
+            "access-failure and ECC-repair statistics across the fleet."
+        ),
+    )
+    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("-M", "--length", type=int, required=True,
+                   help="total code length (doping regions)")
+    p.add_argument("-n", "--valence", type=int, default=2,
+                   help="logic valence (default 2)")
+    p.add_argument("--trace", default="zipfian",
+                   choices=["uniform", "sequential", "zipfian", "bursty"],
+                   help="synthetic trace kind (default zipfian)")
+    p.add_argument("--accesses", type=int, default=100_000,
+                   help="trace length in accesses (default 100000)")
+    p.add_argument("--instances", type=int, default=16,
+                   help="sampled crossbar instances in the fleet (default 16)")
+    p.add_argument("--write-fraction", type=float, default=0.5,
+                   help="fraction of write accesses (default 0.5)")
+    p.add_argument("--address-space", type=int, default=0,
+                   help="logical address space; 0 (default) sizes it from "
+                        "the analytic effective-bits figure, so capacity "
+                        "shortfalls appear as access failures")
+    p.add_argument("--ecc", action="store_true",
+                   help="protect payloads with SECDED; trace addresses "
+                        "become code-block addresses")
+    p.add_argument("--parity-bits", type=int, default=6,
+                   help="SECDED parity bits r; block 2**r (default 6)")
+    p.add_argument("--error-rate", type=float, default=0.0,
+                   help="per-stored-bit flip probability at write time")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed for fleet sampling, trace generation and "
+                        "error injection; results are deterministic per seed "
+                        "and independent of --chunk-size and --method")
+    p.add_argument("--chunk-size", type=int, default=65536,
+                   help="max accesses vectorised at once (default 65536; "
+                        "does not change results)")
+    p.add_argument("--method", default="batched", choices=["batched", "loop"],
+                   help="vectorised engine (default) or the scalar "
+                        "per-access reference loop (byte-identical)")
+    p.add_argument("--format", default="table", choices=["table", "json"],
+                   help="output format (default table)")
 
     sub.add_parser("headline", help="paper-vs-measured headline claims")
     sub.add_parser("theorems", help="run the executable proposition checks")
@@ -270,7 +340,16 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         metrics=tuple(m.strip() for m in args.metric.split(",") if m.strip()),
         spec=spec,
         jobs=args.jobs if args.jobs >= 1 else default_jobs(),
-        params=SweepParams(mc_samples=args.mc_samples, mc_seed=args.mc_seed),
+        params=SweepParams(
+            mc_samples=args.mc_samples,
+            mc_seed=args.seed if args.mc_seed is None else args.mc_seed,
+            wl_trace=args.wl_trace,
+            wl_accesses=args.wl_accesses,
+            wl_instances=args.wl_instances,
+            wl_ecc=args.wl_ecc,
+            wl_error_rate=args.wl_error_rate,
+            wl_seed=args.seed,
+        ),
     )
     if args.format == "csv":
         out = result.to_csv_string().rstrip("\n")
@@ -334,6 +413,77 @@ def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         ["electrical yield", f"{100 * mc.mean_electrical_yield:.2f}%"],
         ["geometric yield", f"{100 * mc.mean_geometric_yield:.2f}%"],
     ]
+    return render_table(["figure", "value"], rows)
+
+
+def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    import json as _json
+    from time import perf_counter
+
+    from repro.codes.registry import make_code
+    from repro.crossbar.ecc import SecdedCode
+    from repro.workload import FLEET_METRICS, exhausted_fraction, prepare_workload
+
+    code = make_code(args.family, args.valence, args.length)
+    fleet, trace = prepare_workload(
+        spec,
+        code,
+        trace=args.trace,
+        accesses=args.accesses,
+        instances=args.instances,
+        seed=args.seed,
+        write_fraction=args.write_fraction,
+        ecc=SecdedCode(args.parity_bits) if args.ecc else None,
+        address_space=args.address_space,
+    )
+    address_space = trace.address_space
+    start = perf_counter()
+    result = fleet.run(
+        trace,
+        method=args.method,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+        write_error_rate=args.error_rate,
+    )
+    elapsed = perf_counter() - start
+
+    if args.format == "json":
+        payload = {
+            "trace": trace.name,
+            "accesses": trace.accesses,
+            "reads": trace.reads,
+            "writes": trace.writes,
+            "instances": fleet.instances,
+            "address_space": address_space,
+            "ecc": result.ecc,
+            "method": args.method,
+            "accesses_per_second": trace.accesses * fleet.instances / elapsed,
+            "metrics": {
+                name: {
+                    "mean": result[name].mean,
+                    "std": result[name].std,
+                    "stderr": result[name].stderr,
+                }
+                for name in FLEET_METRICS
+            },
+            "exhausted_fraction": exhausted_fraction(result.per_instance),
+        }
+        return _json.dumps(payload, indent=2)
+
+    rows = [
+        ["trace", f"{trace.name} ({trace.reads} reads / {trace.writes} writes)"],
+        ["instances", fleet.instances],
+        ["address space", address_space],
+        ["ecc", f"SECDED r={args.parity_bits}" if result.ecc else "off"],
+        ["method", args.method],
+        ["fleet accesses/s", f"{trace.accesses * fleet.instances / elapsed:,.0f}"],
+    ]
+    for name in FLEET_METRICS:
+        s = result[name]
+        rows.append([name, f"{s.mean:,.2f} +- {s.std:,.2f}"])
+    rows.append(
+        ["exhausted instances", f"{100 * exhausted_fraction(result.per_instance):.0f}%"]
+    )
     return render_table(["figure", "value"], rows)
 
 
@@ -441,6 +591,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         out = _cmd_sweep(spec, args)
     elif args.command == "simulate":
         out = _cmd_simulate(spec, args)
+    elif args.command == "memsim":
+        out = _cmd_memsim(spec, args)
     elif args.command == "headline":
         out = _cmd_headline(spec)
     elif args.command == "theorems":

@@ -9,7 +9,13 @@ Monte-Carlo cross-check, and a defect-aware memory abstraction.
 from repro.crossbar.area import AreaReport, effective_bit_area, family_area_sweep
 from repro.crossbar.array import AddressingFault, CrossbarArray
 from repro.crossbar.defects import DefectMap, sample_defect_map, sample_layer_mask
-from repro.crossbar.ecc import EccError, EccMemory, SecdedCode
+from repro.crossbar.ecc import (
+    EccError,
+    EccMemory,
+    SecdedCode,
+    decode_blocks,
+    encode_blocks,
+)
 from repro.crossbar.geometry import CrossbarFloorplan
 from repro.crossbar.memory import CapacityError, CrossbarMemory
 from repro.crossbar.readout import (
@@ -69,7 +75,9 @@ __all__ = [
     "probe_half_cave",
     "probe_layer",
     "crossbar_yield",
+    "decode_blocks",
     "decoder_for",
+    "encode_blocks",
     "effective_bit_area",
     "margin_vs_bank_size",
     "max_bank_size",

@@ -15,7 +15,28 @@ from repro.crossbar.defects import DefectMap
 
 
 class CapacityError(RuntimeError):
-    """Raised when an access falls outside the usable capacity."""
+    """Raised when an access falls outside the usable capacity.
+
+    Attributes
+    ----------
+    requested:
+        The offending bit address (for block accesses, the first
+        address past the block's end is reported when the block
+        overruns the capacity).
+    capacity:
+        The usable capacity of the memory, in bits.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        requested: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.capacity = capacity
 
 
 class CrossbarMemory:
@@ -45,6 +66,11 @@ class CrossbarMemory:
         return self._rows.size * self._cols.size
 
     @property
+    def capacity(self) -> int:
+        """Alias of :attr:`capacity_bits` (the memory's usable size)."""
+        return self.capacity_bits
+
+    @property
     def raw_bits(self) -> int:
         """Raw crosspoints, including unusable ones."""
         return self._data.size
@@ -57,10 +83,17 @@ class CrossbarMemory:
     def _locate(self, address: int) -> tuple[int, int]:
         if not 0 <= address < self.capacity_bits:
             raise CapacityError(
-                f"address {address} outside usable capacity {self.capacity_bits}"
+                f"requested address {address} outside usable capacity of "
+                f"{self.capacity_bits} bits",
+                requested=address,
+                capacity=self.capacity_bits,
             )
         r, c = divmod(address, self._cols.size)
         return int(self._rows[r]), int(self._cols[c])
+
+    def raw_state(self) -> np.ndarray:
+        """Copy of the raw crosspoint bit matrix (unusable positions too)."""
+        return self._data.copy()
 
     def write(self, address: int, bit: bool) -> None:
         """Write one bit at a logical address."""
@@ -77,8 +110,10 @@ class CrossbarMemory:
         bits = np.asarray(bits, dtype=bool)
         if address < 0 or address + bits.size > self.capacity_bits:
             raise CapacityError(
-                f"block [{address}, {address + bits.size}) exceeds capacity "
-                f"{self.capacity_bits}"
+                f"requested block [{address}, {address + bits.size}) exceeds "
+                f"usable capacity of {self.capacity_bits} bits",
+                requested=address if address < 0 else address + bits.size,
+                capacity=self.capacity_bits,
             )
         for offset, bit in enumerate(bits):
             self.write(address + offset, bool(bit))
@@ -87,7 +122,9 @@ class CrossbarMemory:
         """Read ``count`` bits starting at ``address``."""
         if count < 0 or address < 0 or address + count > self.capacity_bits:
             raise CapacityError(
-                f"block [{address}, {address + count}) exceeds capacity "
-                f"{self.capacity_bits}"
+                f"requested block [{address}, {address + count}) exceeds "
+                f"usable capacity of {self.capacity_bits} bits",
+                requested=address if address < 0 else address + count,
+                capacity=self.capacity_bits,
             )
         return np.array([self.read(address + i) for i in range(count)], dtype=bool)

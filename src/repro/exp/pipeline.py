@@ -36,12 +36,27 @@ from repro.exp.results import Record, SweepResult
 
 @dataclass(frozen=True)
 class SweepParams:
-    """Evaluator tuning knobs that are not part of the design point."""
+    """Evaluator tuning knobs that are not part of the design point.
+
+    The ``wl_*`` knobs drive the ``workload`` metric (trace-driven
+    memory-fleet evaluation); ``wl_address_space=0`` sizes the logical
+    address space from the analytic effective-bits figure of each
+    point, so capacity shortfalls against the analytic promise show up
+    as access failures.
+    """
 
     mc_samples: int = 256
     mc_seed: int = 0
     mc_chunk: int = 65_536
     k_sigma: float = 3.0
+    wl_trace: str = "zipfian"
+    wl_accesses: int = 4096
+    wl_instances: int = 4
+    wl_write_fraction: float = 0.5
+    wl_seed: int = 0
+    wl_ecc: bool = False
+    wl_error_rate: float = 0.0
+    wl_address_space: int = 0
 
 
 #: Evaluator signature: (spec, code, params) -> metric columns.
@@ -147,12 +162,59 @@ def _eval_montecarlo(
     }
 
 
+def _eval_workload(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Trace-driven memory-fleet figures (workload subsystem).
+
+    Samples a small fleet of defective instances per point and replays
+    a synthetic trace; like the Monte-Carlo evaluator, every point uses
+    the same root seed so results depend only on (spec, code, params)
+    and sweeps stay byte-reproducible at any ``jobs``.
+    """
+    from repro.crossbar.ecc import SecdedCode
+    from repro.workload import exhausted_fraction, prepare_workload
+
+    fleet, trace = prepare_workload(
+        spec,
+        space,
+        trace=params.wl_trace,
+        accesses=params.wl_accesses,
+        instances=params.wl_instances,
+        seed=params.wl_seed,
+        write_fraction=params.wl_write_fraction,
+        ecc=SecdedCode() if params.wl_ecc else None,
+        address_space=params.wl_address_space,
+    )
+    r = fleet.run(
+        trace,
+        chunk_size=params.mc_chunk,
+        seed=params.wl_seed,
+        write_error_rate=params.wl_error_rate,
+    )
+    return {
+        "wl_trace": trace.name,
+        "wl_accesses": trace.accesses,
+        "wl_instances": fleet.instances,
+        "wl_address_space": trace.address_space,
+        "wl_capacity_mean": r["effective_capacity_bits"].mean,
+        "wl_capacity_std": r["effective_capacity_bits"].std,
+        "wl_efficiency_mean": r["efficiency"].mean,
+        "wl_failure_rate_mean": r["failure_rate"].mean,
+        "wl_first_failure_mean": r["first_failure_index"].mean,
+        "wl_exhausted_fraction": exhausted_fraction(r.per_instance),
+        "wl_corrected_mean": r["corrected"].mean,
+        "wl_uncorrectable_mean": r["uncorrectable"].mean,
+    }
+
+
 EVALUATORS: dict[str, Evaluator] = {
     "yield": _eval_yield,
     "area": _eval_area,
     "complexity": _eval_complexity,
     "margins": _eval_margins,
     "montecarlo": _eval_montecarlo,
+    "workload": _eval_workload,
 }
 
 

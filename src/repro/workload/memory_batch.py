@@ -1,0 +1,585 @@
+"""Batched trace execution over a fleet of defective crossbar memories.
+
+The scalar :class:`~repro.crossbar.memory.CrossbarMemory` resolves one
+bit per Python call; evaluating realistic traffic (millions of accesses
+over tens of sampled instances) that way is three orders of magnitude
+too slow.  :class:`MemoryFleet` replaces that hot path:
+
+* **Sampling** — ``MemoryFleet.sample`` draws N independent crossbar
+  instances through :func:`repro.crossbar.defects.sample_layer_mask`,
+  one spawned child random stream per instance (the sim engine's
+  stream-block discipline), so a fleet is reproducible per
+  ``(spec, code, instances, seed)``.
+* **Remapping** — each instance's defect-aware logical→physical remap
+  table is built once (``np.flatnonzero`` of the working-crosspoint
+  matrix in row-major order — exactly the scalar memory's ``a``-th
+  working-crosspoint rule), then every access is a table gather.
+* **Execution** — whole trace chunks run as vectorised gather/scatter:
+  writes scatter through the remap table (deduplicated to the last
+  write per address, preserving sequential semantics), reads gather
+  from a pre-chunk snapshot with read-after-write forwarding resolved
+  by a single sort/searchsorted pass over the chunk.  Optional SECDED
+  repair uses the vectorised block codecs of
+  :mod:`repro.crossbar.ecc`.
+
+Equivalence contract
+--------------------
+``method="loop"`` executes the same semantics through the scalar
+:class:`CrossbarMemory` / :class:`SecdedCode` APIs, one access per
+Python iteration.  Batched results are **byte-identical** to the loop
+and invariant to ``chunk_size``: write-error draws are consumed from
+per-instance shared streams in trace order, so concatenated chunk draws
+equal the loop's per-access draws (the same contract the sim engine's
+shared-stream kernels rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.codes.base import CodeSpace
+from repro.crossbar.defects import DefectMap, sample_layer_mask
+from repro.crossbar.ecc import EccError, SecdedCode, decode_blocks, encode_blocks
+from repro.crossbar.memory import CapacityError, CrossbarMemory
+from repro.crossbar.spec import CrossbarSpec
+from repro.sim.batch import (
+    DEFAULT_MAX_TRIALS_PER_CHUNK,
+    resolve_rng,
+    spawn_block_streams,
+    validate_chunk,
+)
+from repro.sim.engine import MetricSummary
+from repro.workload.traces import Trace
+
+#: Seed-sequence tag decorrelating write-error streams from the defect
+#: streams when a caller reuses one integer seed for both.
+_ERROR_STREAM_TAG = 0xE44C
+
+
+def _error_streams(seed: int, instances: int) -> list[np.random.Generator]:
+    """One independent write-error stream per instance."""
+    root = np.random.Generator(
+        np.random.SFC64(np.random.SeedSequence([_ERROR_STREAM_TAG, seed]))
+    )
+    return spawn_block_streams(root, instances)
+
+
+def prepare_workload(
+    spec: CrossbarSpec,
+    space: CodeSpace,
+    *,
+    trace: str = "zipfian",
+    accesses: int,
+    instances: int,
+    seed: int = 0,
+    write_fraction: float = 0.5,
+    ecc: SecdedCode | None = None,
+    address_space: int = 0,
+) -> tuple["MemoryFleet", Trace]:
+    """Sample a fleet and build its trace with the shared sizing rule.
+
+    The one construction sequence behind both ``repro memsim`` and the
+    ``workload`` sweep evaluator: sample ``instances`` crossbar
+    instances, size the logical address space from the analytic model
+    when ``address_space <= 0`` (see :func:`analytic_address_space`),
+    and generate the seeded trace.
+    """
+    from repro.workload.traces import make_trace
+
+    fleet = MemoryFleet.sample(spec, space, instances, seed=seed, ecc=ecc)
+    if address_space <= 0:
+        address_space = analytic_address_space(spec, space, ecc)
+    return fleet, make_trace(
+        trace, accesses, address_space,
+        write_fraction=write_fraction, seed=seed,
+    )
+
+
+def analytic_address_space(
+    spec: CrossbarSpec,
+    space: CodeSpace,
+    ecc: SecdedCode | None = None,
+) -> int:
+    """Address space sized from the analytic effective-bits figure.
+
+    The analytic yield model's expected usable bits (Fig. 7 figure,
+    squared for both layers) converted to trace address units — bits in
+    raw mode, whole code blocks under ECC.  Instances falling short of
+    the analytic promise then show the shortfall as access failures.
+    Used by ``repro memsim`` and the ``workload`` sweep evaluator when
+    no explicit address space is given.
+    """
+    from repro.crossbar.yield_model import crossbar_yield
+
+    bits = crossbar_yield(spec, space).effective_bits
+    if ecc is not None:
+        bits /= ecc.block_bits
+    return max(int(bits), 1)
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Outcome of one trace run over a memory fleet.
+
+    ``per_instance`` maps metric names to ``(instances,)`` arrays;
+    ``summary`` holds the Welford-accumulated fleet statistics of the
+    same metrics (see :func:`repro.workload.metrics.summarize_fleet`).
+    ``read_bits`` (``collect_reads=True``) is the ``(instances, reads)``
+    matrix of returned read values — failed reads return False — and
+    ``final_state`` (``collect_state=True``) the ``(instances,
+    raw_bits)`` stored-bit matrix; both are what the equivalence suite
+    compares byte-for-byte across methods and chunk sizes.
+    """
+
+    trace_name: str
+    accesses: int
+    reads: int
+    writes: int
+    instances: int
+    ecc: bool
+    per_instance: Mapping[str, np.ndarray]
+    summary: Mapping[str, MetricSummary]
+    read_bits: np.ndarray | None = None
+    final_state: np.ndarray | None = None
+
+    def __getitem__(self, name: str) -> MetricSummary:
+        return self.summary[name]
+
+
+class MemoryFleet:
+    """A fleet of sampled defective crossbar instances, executed together.
+
+    Parameters
+    ----------
+    defect_maps:
+        One :class:`DefectMap` per instance.  All instances must share
+        one raw geometry (the fleet stores state as a dense matrix).
+    ecc:
+        Optional SECDED code.  With ECC, trace addresses are *block*
+        addresses: each write encodes its data bit into a stored block,
+        each read decodes (correcting single bit errors) and returns
+        the first payload bit.
+    """
+
+    def __init__(
+        self,
+        defect_maps: Sequence[DefectMap],
+        *,
+        ecc: SecdedCode | None = None,
+    ) -> None:
+        if not defect_maps:
+            raise ValueError("a fleet needs at least one instance")
+        shapes = {dm.shape for dm in defect_maps}
+        if len(shapes) > 1:
+            raise ValueError(
+                f"instances must share one raw geometry, got {sorted(shapes)}"
+            )
+        self._maps = list(defect_maps)
+        self._ecc = ecc
+        self._remaps = [
+            np.flatnonzero(dm.working.ravel()) for dm in self._maps
+        ]
+        rows, cols = self._maps[0].shape
+        self._raw_bits = rows * cols
+        self._capacity_bits = np.array(
+            [r.size for r in self._remaps], dtype=np.int64
+        )
+        if ecc is not None:
+            self._enc = np.stack(
+                [
+                    ecc.encode(np.zeros(ecc.data_bits, dtype=bool)),
+                    ecc.encode(np.ones(ecc.data_bits, dtype=bool)),
+                ]
+            )
+
+    @classmethod
+    def sample(
+        cls,
+        spec: CrossbarSpec,
+        space: CodeSpace,
+        instances: int,
+        seed: int = 0,
+        *,
+        ecc: SecdedCode | None = None,
+    ) -> "MemoryFleet":
+        """Sample ``instances`` crossbar instances, one child stream each.
+
+        Per-instance streams are spawned in instance order from one root
+        (:func:`repro.sim.batch.spawn_block_streams`), so instance ``i``
+        is the same crossbar regardless of the fleet size sampled around
+        it.
+        """
+        if instances < 1:
+            raise ValueError(f"need at least one instance, got {instances}")
+        streams = spawn_block_streams(resolve_rng(seed), instances)
+        maps = [
+            DefectMap(
+                row_ok=sample_layer_mask(spec, space, rng),
+                col_ok=sample_layer_mask(spec, space, rng),
+            )
+            for rng in streams
+        ]
+        return cls(maps, ecc=ecc)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def instances(self) -> int:
+        """Number of crossbar instances in the fleet."""
+        return len(self._maps)
+
+    @property
+    def ecc(self) -> SecdedCode | None:
+        """The SECDED code in use, or None in raw-bit mode."""
+        return self._ecc
+
+    @property
+    def raw_bits(self) -> int:
+        """Raw crosspoints per instance."""
+        return self._raw_bits
+
+    @property
+    def capacity_bits(self) -> np.ndarray:
+        """Usable stored bits per instance (working crosspoints)."""
+        return self._capacity_bits.copy()
+
+    @property
+    def address_capacities(self) -> np.ndarray:
+        """Per-instance address-space capacity in trace address units.
+
+        Bits in raw mode; whole code blocks in ECC mode.
+        """
+        if self._ecc is None:
+            return self._capacity_bits.copy()
+        return self._capacity_bits // self._ecc.block_bits
+
+    @property
+    def payload_capacity_bits(self) -> np.ndarray:
+        """Per-instance usable payload bits (after ECC overhead)."""
+        if self._ecc is None:
+            return self._capacity_bits.copy()
+        return (
+            self._capacity_bits // self._ecc.block_bits
+        ) * self._ecc.data_bits
+
+    def suggested_address_space(self) -> int:
+        """Largest address space every fleet instance can serve."""
+        return int(self.address_capacities.min())
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        trace: Trace,
+        *,
+        method: str = "batched",
+        chunk_size: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+        seed: int = 0,
+        write_error_rate: float = 0.0,
+        collect_reads: bool = False,
+        collect_state: bool = False,
+    ) -> FleetResult:
+        """Execute ``trace`` on every instance; aggregate fleet metrics.
+
+        Parameters
+        ----------
+        method:
+            ``"batched"`` (vectorised chunks, the default) or
+            ``"loop"`` (the scalar reference; byte-identical results).
+        chunk_size:
+            Max accesses materialised per vectorised step; bounds
+            memory, never changes results.
+        seed:
+            Root seed of the per-instance write-error streams (ignored
+            when ``write_error_rate`` is 0).
+        write_error_rate:
+            Per-stored-bit flip probability applied at write time
+            (noisy writes); ECC mode corrects single-bit flips per
+            block and counts double errors as uncorrectable.
+        """
+        if not 0.0 <= write_error_rate <= 1.0:
+            raise ValueError(
+                f"write error rate must be in [0, 1], got {write_error_rate}"
+            )
+        validate_chunk(chunk_size)
+        err_streams = (
+            _error_streams(seed, self.instances)
+            if write_error_rate > 0
+            else [None] * self.instances
+        )
+        if method == "batched":
+            return self._run_batched(
+                trace, chunk_size, err_streams, write_error_rate,
+                collect_reads, collect_state,
+            )
+        if method != "loop":
+            raise ValueError(
+                f"unknown method {method!r}; use 'batched' or 'loop'"
+            )
+        return self._run_loop(
+            trace, err_streams, write_error_rate, collect_reads, collect_state
+        )
+
+    # -- batched path ---------------------------------------------------------
+
+    def _run_batched(
+        self,
+        trace: Trace,
+        chunk_size: int,
+        err_streams: Sequence[np.random.Generator | None],
+        p: float,
+        collect_reads: bool,
+        collect_state: bool,
+    ) -> FleetResult:
+        inst = self.instances
+        n = trace.accesses
+        code = self._ecc
+        bb = 1 if code is None else code.block_bits
+        caps = self.address_capacities
+        state = [np.zeros(self._raw_bits, dtype=bool) for _ in range(inst)]
+        failures = np.zeros(inst, dtype=np.int64)
+        first_fail = np.full(inst, n, dtype=np.int64)
+        corrected = np.zeros(inst, dtype=np.int64)
+        uncorrectable = np.zeros(inst, dtype=np.int64)
+        read_bits = (
+            np.zeros((inst, trace.reads), dtype=bool) if collect_reads else None
+        )
+        arange_bb = np.arange(bb)
+        read_off = 0
+
+        for start in range(0, n, chunk_size):
+            stop = min(start + chunk_size, n)
+            length = stop - start
+            a = trace.addresses[start:stop]
+            w = trace.is_write[start:stop]
+            pos = np.arange(length, dtype=np.int64)
+            aw, w_pos = a[w], pos[w]
+            vw = trace.values[start:stop][w]
+            ar, r_pos = a[~w], pos[~w]
+            n_w, n_r = aw.size, ar.size
+
+            # Read-after-write forwarding, resolved once per chunk and
+            # shared by every instance: key = address * chunk + position
+            # orders writes by (address, time); a read's forwarding
+            # source is the last smaller key with a matching address.
+            order = aw_s = last = None
+            hit = np.zeros(n_r, dtype=bool)
+            idx = np.zeros(n_r, dtype=np.int64)
+            shared_vals_s = shared_blocks_s = None
+            if n_w:
+                key_w = aw * length + w_pos
+                order = np.argsort(key_w)
+                aw_s = aw[order]
+                last = np.empty(n_w, dtype=bool)
+                last[:-1] = aw_s[1:] != aw_s[:-1]
+                last[-1] = True
+                if n_r:
+                    found = np.searchsorted(key_w[order], ar * length + r_pos) - 1
+                    hit = found >= 0
+                    idx = np.where(hit, found, 0)
+                    hit &= aw_s[idx] == ar
+                # the uncorrupted write values are instance-invariant;
+                # build them once per chunk, not once per instance
+                if code is None:
+                    if p == 0:
+                        shared_vals_s = vw[order]
+                else:
+                    clean_blocks_w = np.where(
+                        vw[:, None], self._enc[1], self._enc[0]
+                    )
+                    if p == 0:
+                        shared_blocks_s = clean_blocks_w[order]
+
+            for i in range(inst):
+                cap = int(caps[i])
+                invalid = a >= cap
+                bad = int(invalid.sum())
+                if bad:
+                    failures[i] += bad
+                    first = start + int(np.argmax(invalid))
+                    if first < first_fail[i]:
+                        first_fail[i] = first
+
+                remap = self._remaps[i]
+                st = state[i]
+                # write-side values, error-corrupted per instance; draws
+                # cover every write (valid or not) so the stream position
+                # is a function of the trace alone
+                vals_s = shared_vals_s
+                blocks_s = shared_blocks_s
+                if p > 0 and n_w:
+                    if code is None:
+                        vals_s = (vw ^ (err_streams[i].random(n_w) < p))[order]
+                    else:
+                        blocks_s = (
+                            clean_blocks_w
+                            ^ (err_streams[i].random((n_w, bb)) < p)
+                        )[order]
+
+                # reads: pre-chunk snapshot gather + forwarding overrides
+                if n_r:
+                    val = np.zeros(n_r, dtype=bool)
+                    rv = ar < cap
+                    if rv.any():
+                        arv = ar[rv]
+                        if code is None:
+                            snap = st[remap[arv]]
+                            if n_w:
+                                h = hit[rv]
+                                val_v = np.where(h, vals_s[idx[rv]], snap)
+                            else:
+                                val_v = snap
+                        else:
+                            phys = remap[arv[:, None] * bb + arange_bb]
+                            blocks_r = st[phys]
+                            if n_w:
+                                h = np.flatnonzero(hit[rv])
+                                blocks_r[h] = blocks_s[idx[rv][h]]
+                            payload, cpos, unc = decode_blocks(code, blocks_r)
+                            corrected[i] += int((cpos >= 0).sum())
+                            uncorrectable[i] += int(unc.sum())
+                            val_v = payload[:, 0].copy()
+                            val_v[unc] = False
+                        val[rv] = val_v
+                    if read_bits is not None:
+                        read_bits[i, read_off : read_off + n_r] = val
+
+                # writes: last write per address wins (sequential
+                # semantics), deterministic scatter on unique addresses
+                if n_w:
+                    wsel = last & (aw_s < cap)
+                    if wsel.any():
+                        if code is None:
+                            st[remap[aw_s[wsel]]] = vals_s[wsel]
+                        else:
+                            phys = remap[aw_s[wsel][:, None] * bb + arange_bb]
+                            st[phys] = blocks_s[wsel]
+            read_off += n_r
+
+        return self._finish(
+            trace, failures, first_fail, corrected, uncorrectable,
+            read_bits, np.stack(state) if collect_state else None,
+        )
+
+    # -- scalar reference path -------------------------------------------------
+
+    def _run_loop(
+        self,
+        trace: Trace,
+        err_streams: Sequence[np.random.Generator | None],
+        p: float,
+        collect_reads: bool,
+        collect_state: bool,
+    ) -> FleetResult:
+        inst = self.instances
+        n = trace.accesses
+        code = self._ecc
+        bb = 1 if code is None else code.block_bits
+        failures = np.zeros(inst, dtype=np.int64)
+        first_fail = np.full(inst, n, dtype=np.int64)
+        corrected = np.zeros(inst, dtype=np.int64)
+        uncorrectable = np.zeros(inst, dtype=np.int64)
+        read_bits = (
+            np.zeros((inst, trace.reads), dtype=bool) if collect_reads else None
+        )
+        state = np.zeros((inst, self._raw_bits), dtype=bool) if collect_state else None
+
+        for i in range(inst):
+            mem = CrossbarMemory(self._maps[i])
+            err = err_streams[i]
+            r_off = 0
+            for j in range(n):
+                addr = int(trace.addresses[j])
+                if trace.is_write[j]:
+                    if code is None:
+                        bit = bool(trace.values[j])
+                        if err is not None:
+                            bit ^= bool(err.random() < p)
+                        try:
+                            mem.write(addr, bit)
+                        except CapacityError:
+                            failures[i] += 1
+                            first_fail[i] = min(first_fail[i], j)
+                    else:
+                        payload = np.full(code.data_bits, trace.values[j], bool)
+                        block = code.encode(payload)
+                        if err is not None:
+                            block = block ^ (err.random(bb) < p)
+                        try:
+                            mem.write_block(addr * bb, block)
+                        except CapacityError:
+                            failures[i] += 1
+                            first_fail[i] = min(first_fail[i], j)
+                else:
+                    if code is None:
+                        try:
+                            bit = mem.read(addr)
+                        except CapacityError:
+                            failures[i] += 1
+                            first_fail[i] = min(first_fail[i], j)
+                            bit = False
+                    else:
+                        try:
+                            raw = mem.read_block(addr * bb, bb)
+                        except CapacityError:
+                            failures[i] += 1
+                            first_fail[i] = min(first_fail[i], j)
+                            raw = None
+                        bit = False
+                        if raw is not None:
+                            try:
+                                data, cpos = code.decode(raw)
+                                if cpos >= 0:
+                                    corrected[i] += 1
+                                bit = bool(data[0])
+                            except EccError:
+                                uncorrectable[i] += 1
+                    if read_bits is not None:
+                        read_bits[i, r_off] = bit
+                    r_off += 1
+            if state is not None:
+                state[i] = mem.raw_state().ravel()
+
+        return self._finish(
+            trace, failures, first_fail, corrected, uncorrectable,
+            read_bits, state,
+        )
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _finish(
+        self,
+        trace: Trace,
+        failures: np.ndarray,
+        first_fail: np.ndarray,
+        corrected: np.ndarray,
+        uncorrectable: np.ndarray,
+        read_bits: np.ndarray | None,
+        final_state: np.ndarray | None,
+    ) -> FleetResult:
+        from repro.workload.metrics import per_instance_metrics, summarize_fleet
+
+        per_instance = per_instance_metrics(
+            effective_capacity_bits=self.payload_capacity_bits,
+            raw_bits=self._raw_bits,
+            accesses=trace.accesses,
+            failures=failures,
+            first_failure_index=first_fail,
+            corrected=corrected,
+            uncorrectable=uncorrectable,
+        )
+        return FleetResult(
+            trace_name=trace.name,
+            accesses=trace.accesses,
+            reads=trace.reads,
+            writes=trace.writes,
+            instances=self.instances,
+            ecc=self._ecc is not None,
+            per_instance=per_instance,
+            summary=summarize_fleet(per_instance),
+            read_bits=read_bits,
+            final_state=final_state,
+        )

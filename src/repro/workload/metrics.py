@@ -1,0 +1,86 @@
+"""Fleet-level workload metrics, Welford-accumulated across instances.
+
+A fleet run produces one scalar per instance for each figure of merit;
+this module names those metrics, derives the rate forms, and folds them
+into the sim engine's streaming accumulators
+(:mod:`repro.sim.accumulators`) so fleet statistics stay mergeable
+across shards — the same contract the Monte-Carlo engine uses for
+per-trial metrics.
+
+Metrics
+-------
+``effective_capacity_bits``
+    Usable payload bits of an instance (after defect loss, and after
+    ECC overhead when enabled) — the paper's effective-bits figure at
+    the memory level.
+``efficiency``
+    Effective capacity over raw crosspoints.
+``failures`` / ``failure_rate``
+    Accesses falling outside the instance's usable capacity.
+``first_failure_index``
+    Spare-exhaustion point: the first trace position that failed (the
+    trace length when the instance never failed) — how much traffic the
+    instance served before its capacity shortfall first bit.
+``corrected`` / ``uncorrectable``
+    SECDED repair counters (zero in raw mode).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.accumulators import MomentSet
+from repro.sim.engine import MetricSummary
+
+#: Metric names of one fleet run, in reporting order.
+FLEET_METRICS = (
+    "effective_capacity_bits",
+    "efficiency",
+    "failures",
+    "failure_rate",
+    "first_failure_index",
+    "corrected",
+    "uncorrectable",
+)
+
+
+def per_instance_metrics(
+    *,
+    effective_capacity_bits: np.ndarray,
+    raw_bits: int,
+    accesses: int,
+    failures: np.ndarray,
+    first_failure_index: np.ndarray,
+    corrected: np.ndarray,
+    uncorrectable: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Assemble the per-instance metric arrays of one fleet run."""
+    capacity = np.asarray(effective_capacity_bits, dtype=np.int64)
+    failures = np.asarray(failures, dtype=np.int64)
+    return {
+        "effective_capacity_bits": capacity,
+        "efficiency": capacity / float(raw_bits),
+        "failures": failures,
+        "failure_rate": failures / float(accesses),
+        "first_failure_index": np.asarray(first_failure_index, dtype=np.int64),
+        "corrected": np.asarray(corrected, dtype=np.int64),
+        "uncorrectable": np.asarray(uncorrectable, dtype=np.int64),
+    }
+
+
+def summarize_fleet(
+    per_instance: dict[str, np.ndarray],
+) -> dict[str, MetricSummary]:
+    """Welford-accumulated fleet statistics of the per-instance metrics."""
+    names = tuple(per_instance)
+    moments = MomentSet(names)
+    moments.update(per_instance)
+    return {
+        name: MetricSummary.from_moments(moments[name]) for name in names
+    }
+
+
+def exhausted_fraction(per_instance: dict[str, np.ndarray]) -> float:
+    """Fraction of instances whose spares ran out (any failed access)."""
+    failures = per_instance["failures"]
+    return float((failures > 0).mean())

@@ -1,0 +1,247 @@
+"""Seeded synthetic memory-access traces in columnar form.
+
+The paper fixes the crossbar's function — "the function of the crossbar
+circuit was assumed to be a memory" (Sec. 6.1) — but never exercises it
+with traffic.  This module supplies that traffic: deterministic,
+seed-reproducible generators for the classic access patterns (uniform
+random, sequential sweep, Zipfian popularity, bursty locality), each
+emitting a :class:`Trace` of columnar NumPy arrays so the fleet executor
+(:mod:`repro.workload.memory_batch`) can run whole traces as vectorised
+gather/scatter operations.
+
+Every generator shares one signature::
+
+    make_trace(kind, accesses, address_space,
+               write_fraction=0.5, seed=0, **kind_specific)
+
+and one determinism contract: the trace is a pure function of its
+arguments — the same ``(kind, accesses, address_space, write_fraction,
+seed, ...)`` always yields byte-identical arrays, independent of any
+execution parameter downstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TraceError(ValueError):
+    """Raised on malformed trace parameters or arrays."""
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One memory workload: a sequence of read/write bit accesses.
+
+    Attributes
+    ----------
+    name:
+        Generator kind (``uniform``, ``sequential``, ``zipfian``,
+        ``bursty``) or a caller-chosen label for hand-built traces.
+    addresses:
+        ``(accesses,)`` int64 logical addresses in
+        ``[0, address_space)``.  In raw mode an address is one bit; in
+        ECC mode it is one code block.
+    is_write:
+        ``(accesses,)`` bool; True = write, False = read.
+    values:
+        ``(accesses,)`` bool data bits (meaningful for writes only, but
+        generated for every access so the arrays stay columnar).
+    address_space:
+        Size of the logical address space the trace was drawn from.
+    """
+
+    name: str
+    addresses: np.ndarray
+    is_write: np.ndarray
+    values: np.ndarray
+    address_space: int
+
+    def __post_init__(self) -> None:
+        a, w, v = self.addresses, self.is_write, self.values
+        if a.ndim != 1 or w.ndim != 1 or v.ndim != 1:
+            raise TraceError("trace columns must be 1-D arrays")
+        if not (a.size == w.size == v.size):
+            raise TraceError(
+                f"trace columns disagree on length: "
+                f"{a.size}, {w.size}, {v.size}"
+            )
+        if self.address_space < 1:
+            raise TraceError(
+                f"address space must be >= 1, got {self.address_space}"
+            )
+        if a.size and (a.min() < 0 or a.max() >= self.address_space):
+            raise TraceError(
+                f"addresses must lie in [0, {self.address_space})"
+            )
+
+    @property
+    def accesses(self) -> int:
+        """Total number of accesses."""
+        return self.addresses.size
+
+    @property
+    def reads(self) -> int:
+        """Number of read accesses."""
+        return int((~self.is_write).sum())
+
+    @property
+    def writes(self) -> int:
+        """Number of write accesses."""
+        return int(self.is_write.sum())
+
+
+def _validate(accesses: int, address_space: int, write_fraction: float) -> None:
+    if accesses < 1:
+        raise TraceError(f"need at least one access, got {accesses}")
+    if address_space < 1:
+        raise TraceError(f"address space must be >= 1, got {address_space}")
+    if not 0.0 <= write_fraction <= 1.0:
+        raise TraceError(
+            f"write fraction must be in [0, 1], got {write_fraction}"
+        )
+
+
+def _assemble(
+    name: str,
+    addresses: np.ndarray,
+    rng: np.random.Generator,
+    address_space: int,
+    write_fraction: float,
+) -> Trace:
+    """Draw the shared op/value columns and freeze the trace.
+
+    Ops and values are drawn *after* the addresses from the same
+    generator, so every kind consumes its stream in the same order.
+    """
+    accesses = addresses.size
+    is_write = rng.random(accesses) < write_fraction
+    values = rng.random(accesses) < 0.5
+    return Trace(
+        name=name,
+        addresses=np.ascontiguousarray(addresses, dtype=np.int64),
+        is_write=is_write,
+        values=values,
+        address_space=int(address_space),
+    )
+
+
+def uniform_trace(
+    accesses: int,
+    address_space: int,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+) -> Trace:
+    """Uniform-random addresses — the memoryless worst case for locality."""
+    _validate(accesses, address_space, write_fraction)
+    rng = np.random.default_rng(seed)
+    addresses = rng.integers(0, address_space, size=accesses, dtype=np.int64)
+    return _assemble("uniform", addresses, rng, address_space, write_fraction)
+
+
+def sequential_trace(
+    accesses: int,
+    address_space: int,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+    start: int = 0,
+    stride: int = 1,
+) -> Trace:
+    """Strided sequential sweep, wrapping at the end of the address space."""
+    _validate(accesses, address_space, write_fraction)
+    if stride == 0:
+        raise TraceError("stride must be non-zero")
+    rng = np.random.default_rng(seed)
+    addresses = (start + stride * np.arange(accesses, dtype=np.int64)) % address_space
+    return _assemble("sequential", addresses, rng, address_space, write_fraction)
+
+
+def zipfian_trace(
+    accesses: int,
+    address_space: int,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+    skew: float = 1.0,
+) -> Trace:
+    """Bounded Zipfian popularity: address ``k`` drawn ∝ ``(k+1)**-skew``.
+
+    Low addresses are hot (address 0 the hottest), the tail is cold —
+    the standard model for key-value and cache traffic.  Sampling is a
+    single inverse-CDF ``searchsorted`` over a precomputed table, so
+    generation stays vectorised at millions of accesses.
+    """
+    _validate(accesses, address_space, write_fraction)
+    if skew < 0:
+        raise TraceError(f"skew must be >= 0, got {skew}")
+    rng = np.random.default_rng(seed)
+    weights = np.arange(1, address_space + 1, dtype=float) ** -skew
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    addresses = np.searchsorted(cdf, rng.random(accesses), side="right")
+    addresses = np.minimum(addresses, address_space - 1).astype(np.int64)
+    return _assemble("zipfian", addresses, rng, address_space, write_fraction)
+
+
+def bursty_trace(
+    accesses: int,
+    address_space: int,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+    mean_burst: int = 32,
+) -> Trace:
+    """Bursts of sequential locality at uniform-random base addresses.
+
+    Burst lengths are geometric with mean ``mean_burst``; within a
+    burst, addresses advance sequentially (wrapping), modelling DMA /
+    scan traffic interleaved by a scheduler.
+    """
+    _validate(accesses, address_space, write_fraction)
+    if mean_burst < 1:
+        raise TraceError(f"mean burst must be >= 1, got {mean_burst}")
+    rng = np.random.default_rng(seed)
+    lengths_parts: list[np.ndarray] = []
+    total = 0
+    while total < accesses:
+        draw = rng.geometric(1.0 / mean_burst, size=max(accesses // mean_burst + 1, 16))
+        lengths_parts.append(draw)
+        total += int(draw.sum())
+    lengths = np.concatenate(lengths_parts)
+    keep = int(np.searchsorted(np.cumsum(lengths), accesses, side="left")) + 1
+    lengths = lengths[:keep]
+    starts = rng.integers(0, address_space, size=keep, dtype=np.int64)
+    bases = np.repeat(starts, lengths)
+    ends = np.cumsum(lengths)
+    offsets = np.arange(ends[-1], dtype=np.int64) - np.repeat(ends - lengths, lengths)
+    addresses = ((bases + offsets) % address_space)[:accesses]
+    return _assemble("bursty", addresses, rng, address_space, write_fraction)
+
+
+#: Registry of the built-in trace kinds (CLI ``--trace`` choices).
+TRACE_GENERATORS = {
+    "uniform": uniform_trace,
+    "sequential": sequential_trace,
+    "zipfian": zipfian_trace,
+    "bursty": bursty_trace,
+}
+
+
+def make_trace(
+    kind: str,
+    accesses: int,
+    address_space: int,
+    write_fraction: float = 0.5,
+    seed: int = 0,
+    **options: float,
+) -> Trace:
+    """Build a trace by kind name (see :data:`TRACE_GENERATORS`)."""
+    key = str(kind).strip().lower()
+    if key not in TRACE_GENERATORS:
+        raise TraceError(
+            f"unknown trace kind {kind!r}; available: "
+            f"{sorted(TRACE_GENERATORS)}"
+        )
+    return TRACE_GENERATORS[key](
+        accesses, address_space, write_fraction, seed, **options
+    )
