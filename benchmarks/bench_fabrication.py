@@ -16,7 +16,6 @@ from repro.analysis.report import render_table
 from repro.codes import make_code
 from repro.fabrication.doping import DopingPlan
 from repro.fabrication.implant import ImplantPlanner
-from repro.fabrication.mspt import SpacerRecipe
 from repro.fabrication.variation import ProcessVariation
 
 

@@ -13,10 +13,19 @@ import numpy as np
 
 from repro.analysis.figures import fig6_variability_maps
 from repro.analysis.report import render_table
+from repro.codes import make_code
+from repro.decoder.margins import margin_report
 
 
 def test_fig6_variability(benchmark, emit):
     data = benchmark(fig6_variability_maps)
+
+    # the margin view of each panel, on the vectorized margin engine:
+    # accumulated variability is exactly what erodes the k-sigma margin
+    margins = {
+        (family, length): margin_report(make_code(family, 2, length), 20)
+        for (family, length) in data
+    }
 
     rows = []
     for (family, length), panel in sorted(data.items()):
@@ -27,13 +36,23 @@ def test_fig6_variability(benchmark, emit):
                 float(panel.mean()),
                 float(panel.max()),
                 float(panel.std()),
+                f"{1000 * margins[(family, length)].worst_margin_v:.0f} mV",
             ]
         )
     emit(
         "fig6_variability",
         "Fig. 6 — sqrt(Sigma)/sigma_T statistics per panel (N = 20)\n"
-        + render_table(["panel", "min", "mean", "max", "spread"], rows, 2),
+        + render_table(
+            ["panel", "min", "mean", "max", "spread", "3s margin"], rows, 2
+        ),
     )
+
+    # lower accumulated variability must buy a larger 3-sigma margin
+    for length in (8, 10):
+        assert (
+            margins[("BGC", length)].worst_margin_v
+            > margins[("TC", length)].worst_margin_v
+        )
 
     # paper-shape assertions
     for length in (8, 10):

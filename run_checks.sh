@@ -12,6 +12,14 @@ cd "$(dirname "$0")"
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== lint =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+else
+    echo "ruff not installed — skipping (CI runs it in the lint job)"
+fi
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q --durations=10 tests
 
@@ -51,6 +59,21 @@ else
     WORKLOAD_BENCH_ACCESSES=200000 WORKLOAD_BENCH_INSTANCES=8 \
     WORKLOAD_BENCH_LOOP_ACCESSES=10000 WORKLOAD_BENCH_MIN_SPEEDUP=5 \
     python -m pytest -q benchmarks/bench_workload.py
+fi
+
+echo
+echo "== margin-engine perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: 3-family margin-yield sweep, >= 10x vs the
+    # frozen scalar pairwise loop
+    python -m pytest -q benchmarks/bench_margins.py
+else
+    # smaller trial budgets with a loose floor so container noise
+    # cannot flake it; correctness gates (byte-identical reports,
+    # chunk invariance) run at full strictness either way
+    MARGINS_BENCH_TRIALS=5000 MARGINS_BENCH_LOOP_TRIALS=300 \
+    MARGINS_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_margins.py
 fi
 
 echo

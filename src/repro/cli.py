@@ -106,7 +106,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="logic valence (default 2)")
     p.add_argument("--metric", default="yield",
                    help="comma-separated metrics: yield,area,complexity,"
-                        "margins,montecarlo,workload (default yield)")
+                        "margins,marginmc,montecarlo,workload "
+                        "(default yield)")
     p.add_argument("--axis", action="append", default=[],
                    metavar="NAME=V1,V2,...",
                    help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
@@ -119,11 +120,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="output format (default table)")
     p.add_argument("--output", help="write the formatted result to this file")
     p.add_argument("--mc-samples", type=int, default=256,
-                   help="trials per point for the montecarlo metric")
+                   help="trials per point for the montecarlo and "
+                        "marginmc metrics")
+    p.add_argument("--k-sigma", type=float, default=3.0,
+                   help="criterion strictness k for the margins and "
+                        "marginmc metrics (default 3.0)")
     p.add_argument("--seed", type=int, default=0,
                    help="root seed of the stochastic metrics (montecarlo, "
-                        "workload); results are deterministic per seed and "
-                        "identical for any --jobs")
+                        "marginmc, workload); results are deterministic per "
+                        "seed and identical for any --jobs")
     p.add_argument("--mc-seed", type=int, default=None,
                    help="override the montecarlo root seed (default: --seed)")
     p.add_argument("--wl-trace", default="zipfian",
@@ -210,9 +215,41 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("theorems", help="run the executable proposition checks")
     sub.add_parser("baselines", help="compare with stochastic decoders [6, 8]")
 
-    p = sub.add_parser("margins", help="k-sigma sense margins per code family")
-    p.add_argument("-M", "--length", type=int, default=8)
-    p.add_argument("--k-sigma", type=float, default=3.0)
+    p = sub.add_parser(
+        "margins",
+        help="k-sigma sense margins per code family",
+        description=(
+            "Evaluate the worst-case k-sigma sense margins and the "
+            "analytic margin yield of each code family on the "
+            "vectorized margin engine; with --samples, also run the "
+            "batched margin-yield Monte-Carlo (realised VTs against "
+            "the k-sigma sensing guard band)."
+        ),
+    )
+    p.add_argument("--family", "--families", dest="families",
+                   default="TC,GC,BGC",
+                   help="comma-separated code families (default TC,GC,BGC)")
+    p.add_argument("-M", "--length", type=int, default=8,
+                   help="total code length (doping regions, default 8)")
+    p.add_argument("-n", "--valence", type=int, default=2,
+                   help="logic valence (default 2)")
+    p.add_argument("--k-sigma", type=float, default=3.0,
+                   help="margin criterion strictness k (default 3.0)")
+    p.add_argument("--samples", type=int, default=0,
+                   help="margin-yield Monte-Carlo trials per family "
+                        "(default 0 = analytic margins only)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="root seed of the Monte-Carlo; results are "
+                        "deterministic per (seed, --samples) and "
+                        "independent of --chunk-size and --method")
+    p.add_argument("--chunk-size", type=int, default=65536,
+                   help="max trials held in memory at once (default "
+                        "65536; does not change results)")
+    p.add_argument("--method", default="batched", choices=["batched", "loop"],
+                   help="vectorized margin engine (default) or the "
+                        "scalar pairwise reference loop (byte-identical)")
+    p.add_argument("--format", default="table", choices=["table", "json"],
+                   help="output format (default table)")
 
     p = sub.add_parser("readout", help="sneak-path margins vs bank size")
     p.add_argument("--scheme", default="float",
@@ -343,6 +380,7 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         params=SweepParams(
             mc_samples=args.mc_samples,
             mc_seed=args.seed if args.mc_seed is None else args.mc_seed,
+            k_sigma=args.k_sigma,
             wl_trace=args.wl_trace,
             wl_accesses=args.wl_accesses,
             wl_instances=args.wl_instances,
@@ -520,25 +558,82 @@ def _cmd_baselines(spec: CrossbarSpec) -> str:
 
 
 def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
-    from repro.codes.registry import make_code
-    from repro.decoder.margins import margin_report
+    import json as _json
 
-    rows = []
-    for family in ("TC", "GC", "BGC"):
-        code = make_code(family, 2, args.length)
+    from repro.codes.registry import make_code
+    from repro.crossbar.montecarlo import simulate_margin_yield
+    from repro.decoder.margins import margin_report, margin_yield
+
+    families = [f.strip() for f in args.families.split(",") if f.strip()]
+    if not families:
+        raise SystemExit("--family expects at least one family name")
+    results = []
+    for family in families:
+        code = make_code(family, args.valence, args.length)
         report = margin_report(
             code, spec.nanowires_per_half_cave,
             sigma_t=spec.sigma_t, k_sigma=args.k_sigma,
+            method=args.method,
         )
-        rows.append(
-            [
-                family,
-                f"{1000 * report.select_margin_v:.0f} mV",
-                f"{1000 * report.block_margin_v:.0f} mV",
-                "yes" if report.passes else "no",
+        entry = {
+            "family": family,
+            "select_margin_v": report.select_margin_v,
+            "block_margin_v": report.block_margin_v,
+            "worst_margin_v": report.worst_margin_v,
+            "passes": report.passes,
+            "margin_yield": margin_yield(
+                code, spec.nanowires_per_half_cave,
+                sigma_t=spec.sigma_t, k_sigma=args.k_sigma,
+                method=args.method,
+            ),
+        }
+        if args.samples > 0:
+            mc = simulate_margin_yield(
+                spec, code,
+                samples=args.samples,
+                seed=args.seed,
+                k_sigma=args.k_sigma,
+                method=args.method,
+                max_trials_per_chunk=args.chunk_size,
+            )
+            entry["mc_margin_yield"] = mc.mean_margin_yield
+            entry["mc_stderr"] = mc.stderr
+            entry["mc_select_margin_v"] = mc.mean_select_margin
+            entry["mc_block_margin_v"] = mc.mean_block_margin
+        results.append(entry)
+
+    if args.format == "json":
+        payload = {
+            "length": args.length,
+            "valence": args.valence,
+            "k_sigma": args.k_sigma,
+            "samples": args.samples,
+            "seed": args.seed,
+            "method": args.method,
+            "families": results,
+        }
+        return _json.dumps(payload, indent=2)
+
+    headers = ["family", "select", "block", "worst", "passes", "margin yield"]
+    if args.samples > 0:
+        headers += ["mc yield", "mc stderr"]
+    rows = []
+    for r in results:
+        row = [
+            r["family"],
+            f"{1000 * r['select_margin_v']:.0f} mV",
+            f"{1000 * r['block_margin_v']:.0f} mV",
+            f"{1000 * r['worst_margin_v']:.0f} mV",
+            "yes" if r["passes"] else "no",
+            f"{100 * r['margin_yield']:.1f}%",
+        ]
+        if args.samples > 0:
+            row += [
+                f"{100 * r['mc_margin_yield']:.2f}%",
+                f"{100 * r['mc_stderr']:.2f}%",
             ]
-        )
-    return render_table(["family", "select", "block", "passes"], rows)
+        rows.append(row)
+    return render_table(headers, rows)
 
 
 def _cmd_readout(args: argparse.Namespace) -> str:

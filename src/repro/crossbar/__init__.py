@@ -26,10 +26,13 @@ from repro.crossbar.readout import (
 )
 from repro.crossbar.readout_distributed import DistributedReadout
 from repro.crossbar.montecarlo import (
+    MonteCarloMarginYield,
     MonteCarloYield,
     sample_electrical_mask,
     sample_geometric_mask,
     simulate_cave_yield,
+    simulate_halfcave_yield,
+    simulate_margin_yield,
 )
 from repro.crossbar.wire_test import (
     WireTestReport,
@@ -67,6 +70,7 @@ __all__ = [
     "ReadoutError",
     "ReadoutModel",
     "SecdedCode",
+    "MonteCarloMarginYield",
     "MonteCarloYield",
     "WireTestReport",
     "YieldReport",
@@ -88,4 +92,6 @@ __all__ = [
     "sample_geometric_mask",
     "sample_layer_mask",
     "simulate_cave_yield",
+    "simulate_halfcave_yield",
+    "simulate_margin_yield",
 ]

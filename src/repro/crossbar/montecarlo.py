@@ -29,9 +29,14 @@ from repro.codes.base import CodeSpace
 from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import decoder_for
 from repro.decoder.decoder import HalfCaveDecoder
+from repro.sim.accumulators import MomentSet
 from repro.sim.batch import (
     DEFAULT_MAX_TRIALS_PER_CHUNK,
     DEFAULT_STREAM_BLOCK,
+    block_sizes,
+    plan_chunks,
+    resolve_rng,
+    spawn_block_streams,
     validate_chunk,
     validate_samples,
 )
@@ -143,4 +148,170 @@ def simulate_cave_yield(
         std_cave_yield=float(cave.std(ddof=1)) if samples > 1 else 0.0,
         mean_electrical_yield=float(electrical.mean()),
         mean_geometric_yield=float(geometric.mean()),
+    )
+
+
+def simulate_halfcave_yield(
+    spec: CrossbarSpec,
+    space: CodeSpace,
+    samples: int = 200,
+    seed: int = 0,
+    **kwargs,
+) -> MonteCarloYield:
+    """Alias for the half-cave yield simulation.
+
+    A half cave is the unit the cave-yield Monte-Carlo samples, so
+    both names are accepted.  The call is routed straight through
+    :func:`simulate_cave_yield`: the default execution path, the
+    stderr/SEM guards (``stderr == 0.0`` at one sample) and the
+    seeding semantics are exactly those of ``method="batched"``.
+    """
+    return simulate_cave_yield(spec, space, samples=samples, seed=seed, **kwargs)
+
+
+# -- k-sigma margin yield (sense-margin criterion of ref [2]) ------------------
+
+
+@dataclass(frozen=True)
+class MonteCarloMarginYield:
+    """Aggregated Monte-Carlo estimate of the k-sigma margin yield.
+
+    ``mean_margin_yield`` is the expected fraction of wires whose
+    *realised* select and block margins both clear the sensing guard
+    band ``guard_v = k_sigma * sigma_T``; ``mean_select_margin`` /
+    ``mean_block_margin`` track the expected per-trial worst margins.
+    """
+
+    samples: int
+    k_sigma: float
+    guard_v: float
+    mean_margin_yield: float
+    std_margin_yield: float
+    mean_select_margin: float
+    mean_block_margin: float
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean margin yield (0.0 for one sample)."""
+        if self.samples <= 1:
+            return 0.0
+        return self.std_margin_yield / math.sqrt(self.samples)
+
+
+def _margin_trial_loop(
+    vt: np.ndarray,
+    va: np.ndarray,
+    patterns: np.ndarray,
+    guard_v: float,
+) -> tuple[float, float, float]:
+    """One scalar margin-yield trial: the original O(N^2) pairwise loop.
+
+    Returns ``(margin_yield, worst_select, worst_block)`` for one
+    realised VT matrix; the frozen per-pair reference the batched
+    kernel is proven against.
+    """
+    n_wires = patterns.shape[0]
+    passing = 0
+    worst_select = np.inf
+    worst_block = np.inf
+    for i in range(n_wires):
+        select = np.min(va[i] - vt[i])
+        block = np.inf
+        has_conflict = False
+        for u in range(n_wires):
+            if u == i or (patterns[u] == patterns[i]).all():
+                continue
+            has_conflict = True
+            block = min(block, np.max(vt[u] - va[i]))
+        if min(select, block) > guard_v:
+            passing += 1
+        worst_select = min(worst_select, select)
+        if has_conflict:
+            worst_block = min(worst_block, block)
+    return passing / n_wires, worst_select, worst_block
+
+
+def simulate_margin_yield(
+    spec: CrossbarSpec,
+    space: CodeSpace,
+    samples: int = 200,
+    seed: int = 0,
+    *,
+    k_sigma: float = 3.0,
+    method: str = "batched",
+    max_trials_per_chunk: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+    stream_block: int = DEFAULT_STREAM_BLOCK,
+) -> MonteCarloMarginYield:
+    """Monte-Carlo estimate of the k-sigma margin yield for one code.
+
+    The stochastic counterpart of
+    :func:`repro.decoder.margins.margin_yield`: threshold voltages are
+    realised per trial (``nominal + sigma_region * z``) and a wire
+    passes when its realised select and block margins both exceed the
+    sensing guard band ``k_sigma * sigma_T``.
+
+    Both methods draw from the spawned per-block streams of
+    :mod:`repro.sim.batch` **in the same order**, so — unlike the
+    cave-yield pair — ``method="loop"`` (the scalar per-pair
+    reference) and ``method="batched"`` (the
+    :class:`repro.sim.margins.MarginYieldKernel` on the chunked
+    engine) produce *identical* sampled yields, and neither depends on
+    ``max_trials_per_chunk``.
+    """
+    from repro.sim.engine import MonteCarloEngine
+    from repro.sim.margins import MarginYieldKernel
+
+    validate_samples(samples)
+    validate_chunk(max_trials_per_chunk)
+    decoder = decoder_for(spec, space)
+    kernel = MarginYieldKernel(decoder, k_sigma)
+    if method == "batched":
+        engine = MonteCarloEngine(
+            kernel,
+            max_trials_per_chunk=max_trials_per_chunk,
+            stream_block=stream_block,
+        )
+        result = engine.run(samples, seed)
+        return MonteCarloMarginYield(
+            samples=result.samples,
+            k_sigma=kernel.k_sigma,
+            guard_v=kernel.guard_v,
+            mean_margin_yield=result["margin_yield"].mean,
+            std_margin_yield=result["margin_yield"].std,
+            mean_select_margin=result["select_margin"].mean,
+            mean_block_margin=result["block_margin"].mean,
+        )
+    if method != "loop":
+        raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
+
+    root = resolve_rng(seed)
+    acc = MomentSet(kernel.metrics)
+    for chunk in plan_chunks(samples, max_trials_per_chunk, stream_block):
+        widths = block_sizes(chunk, stream_block)
+        streams = spawn_block_streams(root, len(widths))
+        for stream, width in zip(streams, widths):
+            myield = np.empty(width)
+            select = np.empty(width)
+            block = np.empty(width)
+            for t in range(width):
+                z = stream.standard_normal(kernel.nominal.shape)
+                vt = kernel.nominal + kernel.std * z
+                myield[t], select[t], block[t] = _margin_trial_loop(
+                    vt, kernel.va, kernel.patterns, kernel.guard_v
+                )
+            acc.update(
+                {
+                    "margin_yield": myield,
+                    "select_margin": select,
+                    "block_margin": block,
+                }
+            )
+    return MonteCarloMarginYield(
+        samples=int(samples),
+        k_sigma=kernel.k_sigma,
+        guard_v=kernel.guard_v,
+        mean_margin_yield=acc["margin_yield"].mean,
+        std_margin_yield=acc["margin_yield"].std,
+        mean_select_margin=acc["select_margin"].mean,
+        mean_block_margin=acc["block_margin"].mean,
     )

@@ -82,6 +82,7 @@ __all__ = [
     "simulate_random_codes",
     "simulate_random_contacts",
     "unique_code_probability",
+    "wire_addressability",
     "address_of_nanowire",
     "addresses_unique_wire",
     "average_variability",

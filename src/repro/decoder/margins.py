@@ -19,6 +19,18 @@ unselected-block margin, each degraded by ``k * sigma`` of the region's
 accumulated variability (Def. 5).  A k-sigma margin criterion gives an
 alternative, more conservative yield model that the ablation bench
 compares against the window model.
+
+Execution paths
+---------------
+Every public function takes ``method="batched"`` (default) or
+``method="loop"``:
+
+* ``"batched"`` — the broadcast engine of :mod:`repro.sim.margins`:
+  the full select/block margin matrix in whole-array NumPy ops,
+  byte-identical to the loop (same elementwise operations, exact
+  min/max reductions) and >=10x faster on decoder-sized problems;
+* ``"loop"`` — the original scalar implementation with the
+  O(N^2) per-pair Python loop, kept verbatim as the reference.
 """
 
 from __future__ import annotations
@@ -66,19 +78,20 @@ def applied_voltages(address: np.ndarray, scheme: LevelScheme) -> np.ndarray:
     return levels[address] + scheme.spacing / 2.0
 
 
-def select_margins(
+def _validate_method(method: str) -> str:
+    if method not in ("batched", "loop"):
+        raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
+    return method
+
+
+def _select_margins_loop(
     patterns: np.ndarray,
     nu: np.ndarray,
     scheme: LevelScheme,
-    sigma_t: float = DEFAULT_SIGMA_T,
-    k_sigma: float = 3.0,
+    sigma_t: float,
+    k_sigma: float,
 ) -> np.ndarray:
-    """k-sigma conduction margin of every wire under its own address.
-
-    For wire i the margin is ``min_j (VA_j - VT_ij - k * sigma_ij)``:
-    how far every region stays in conduction when its VT drifts k sigma
-    upward.
-    """
+    """Scalar reference: one wire per Python iteration (seed semantics)."""
     patterns = np.asarray(patterns)
     levels = np.asarray(scheme.levels)
     nominal = levels[patterns]
@@ -90,22 +103,14 @@ def select_margins(
     return out
 
 
-def block_margins(
+def _block_margins_loop(
     patterns: np.ndarray,
     nu: np.ndarray,
     scheme: LevelScheme,
-    sigma_t: float = DEFAULT_SIGMA_T,
-    k_sigma: float = 3.0,
+    sigma_t: float,
+    k_sigma: float,
 ) -> np.ndarray:
-    """k-sigma blocking margin of every wire's address vs the other wires.
-
-    When wire i is addressed, every other wire u must have at least one
-    region whose VT exceeds the applied voltage; the margin of the pair
-    is the *best* such region (only one needs to block) and the margin
-    of address i is the worst pair.  Wires with identical patterns
-    (copies in other contact groups) are skipped — the contact group
-    disambiguates them.
-    """
+    """Scalar reference: the original O(N^2) per-pair Python loop."""
     patterns = np.asarray(patterns)
     levels = np.asarray(scheme.levels)
     nominal = levels[patterns]
@@ -122,20 +127,68 @@ def block_margins(
     return out
 
 
+def select_margins(
+    patterns: np.ndarray,
+    nu: np.ndarray,
+    scheme: LevelScheme,
+    sigma_t: float = DEFAULT_SIGMA_T,
+    k_sigma: float = 3.0,
+    method: str = "batched",
+) -> np.ndarray:
+    """k-sigma conduction margin of every wire under its own address.
+
+    For wire i the margin is ``min_j (VA_j - VT_ij - k * sigma_ij)``:
+    how far every region stays in conduction when its VT drifts k sigma
+    upward.  The two methods are byte-identical; see the module
+    docstring.
+    """
+    if _validate_method(method) == "loop":
+        return _select_margins_loop(patterns, nu, scheme, sigma_t, k_sigma)
+    from repro.sim.margins import select_margins_batched
+
+    return select_margins_batched(patterns, nu, scheme, sigma_t, k_sigma)
+
+
+def block_margins(
+    patterns: np.ndarray,
+    nu: np.ndarray,
+    scheme: LevelScheme,
+    sigma_t: float = DEFAULT_SIGMA_T,
+    k_sigma: float = 3.0,
+    method: str = "batched",
+) -> np.ndarray:
+    """k-sigma blocking margin of every wire's address vs the other wires.
+
+    When wire i is addressed, every other wire u must have at least one
+    region whose VT exceeds the applied voltage; the margin of the pair
+    is the *best* such region (only one needs to block) and the margin
+    of address i is the worst pair.  Wires with identical patterns
+    (copies in other contact groups) are skipped — the contact group
+    disambiguates them.  The two methods are byte-identical; see the
+    module docstring.
+    """
+    if _validate_method(method) == "loop":
+        return _block_margins_loop(patterns, nu, scheme, sigma_t, k_sigma)
+    from repro.sim.margins import block_margins_batched
+
+    return block_margins_batched(patterns, nu, scheme, sigma_t, k_sigma)
+
+
 def margin_report(
     space: CodeSpace,
     nanowires: int,
     scheme: LevelScheme | None = None,
     sigma_t: float = DEFAULT_SIGMA_T,
     k_sigma: float = 3.0,
+    method: str = "batched",
 ) -> MarginReport:
     """Worst-case sense margins of a half cave patterned with ``space``."""
     scheme = scheme or LevelScheme(space.n)
     patterns = pattern_matrix(space, nanowires)
     plan = DopingPlan.from_code(space, nanowires)
     nu = dose_count_matrix(plan.steps)
-    select = select_margins(patterns, nu, scheme, sigma_t, k_sigma)
-    block = block_margins(patterns, nu, scheme, sigma_t, k_sigma)
+    select = select_margins(patterns, nu, scheme, sigma_t, k_sigma, method)
+    block = block_margins(patterns, nu, scheme, sigma_t, k_sigma, method)
     return MarginReport(
         select_margin_v=float(select.min()),
         block_margin_v=float(block.min()),
@@ -149,17 +202,20 @@ def margin_yield(
     scheme: LevelScheme | None = None,
     sigma_t: float = DEFAULT_SIGMA_T,
     k_sigma: float = 3.0,
+    method: str = "batched",
 ) -> float:
     """Fraction of wires with positive select *and* block margins.
 
     The conservative, margin-based counterpart of the window-model
-    electrical yield; used by the margin ablation bench.
+    electrical yield; used by the margin ablation bench.  For the
+    sampled (Monte-Carlo) counterpart see
+    :func:`repro.crossbar.montecarlo.simulate_margin_yield`.
     """
     scheme = scheme or LevelScheme(space.n)
     patterns = pattern_matrix(space, nanowires)
     plan = DopingPlan.from_code(space, nanowires)
     nu = dose_count_matrix(plan.steps)
-    select = select_margins(patterns, nu, scheme, sigma_t, k_sigma)
-    block = block_margins(patterns, nu, scheme, sigma_t, k_sigma)
+    select = select_margins(patterns, nu, scheme, sigma_t, k_sigma, method)
+    block = block_margins(patterns, nu, scheme, sigma_t, k_sigma, method)
     ok = (select > 0) & (block > 0)
     return float(ok.mean())

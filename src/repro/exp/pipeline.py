@@ -29,7 +29,6 @@ from repro.codes.base import CodeSpace
 from repro.crossbar.area import effective_bit_area
 from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import crossbar_yield, decoder_for
-from repro.device.threshold import LevelScheme
 from repro.exp.designpoint import DesignPoint
 from repro.exp.results import Record, SweepResult
 
@@ -111,18 +110,20 @@ def _eval_margins(
 ) -> Mapping[str, object]:
     """Worst-case k-sigma sense margins of the half cave.
 
-    Computed from the memoized decoder's pattern/dose matrices (the
-    same inputs :func:`repro.decoder.margins.margin_report` derives
-    from scratch), so margin grids share the fabrication caches.
+    Runs on the broadcast margin engine (:mod:`repro.sim.margins`) —
+    byte-identical to the scalar pairwise loop — over the memoized
+    decoder's pattern/dose matrices (the same inputs
+    :func:`repro.decoder.margins.margin_report` derives from scratch),
+    so margin grids share the fabrication caches.
     """
-    from repro.decoder.margins import block_margins, select_margins
+    from repro.sim.margins import block_margins_batched, select_margins_batched
 
     decoder = decoder_for(spec, space)
-    select = select_margins(
+    select = select_margins_batched(
         decoder.patterns, decoder.nu, decoder.scheme,
         spec.sigma_t, params.k_sigma,
     )
-    block = block_margins(
+    block = block_margins_batched(
         decoder.patterns, decoder.nu, decoder.scheme,
         spec.sigma_t, params.k_sigma,
     )
@@ -131,6 +132,7 @@ def _eval_margins(
     return {
         "select_margin_v": select_v,
         "block_margin_v": block_v,
+        "margin_yield": float(((select > 0) & (block > 0)).mean()),
         "margin_passes": bool(select_v > 0 and block_v > 0),
     }
 
@@ -159,6 +161,34 @@ def _eval_montecarlo(
         "mc_stderr": mc.stderr,
         "mc_electrical_yield": mc.mean_electrical_yield,
         "mc_geometric_yield": mc.mean_geometric_yield,
+    }
+
+
+def _eval_marginmc(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Batched k-sigma margin-yield Monte-Carlo (sense-margin criterion).
+
+    Same root-seed discipline as the ``montecarlo`` evaluator: every
+    point's estimate depends only on (spec, code, params), so sweeps
+    stay byte-reproducible at any ``jobs``.
+    """
+    from repro.crossbar.montecarlo import simulate_margin_yield
+
+    mc = simulate_margin_yield(
+        spec,
+        space,
+        samples=params.mc_samples,
+        seed=params.mc_seed,
+        k_sigma=params.k_sigma,
+        max_trials_per_chunk=params.mc_chunk,
+    )
+    return {
+        "mmc_samples": mc.samples,
+        "mmc_margin_yield": mc.mean_margin_yield,
+        "mmc_stderr": mc.stderr,
+        "mmc_select_margin_v": mc.mean_select_margin,
+        "mmc_block_margin_v": mc.mean_block_margin,
     }
 
 
@@ -213,6 +243,7 @@ EVALUATORS: dict[str, Evaluator] = {
     "area": _eval_area,
     "complexity": _eval_complexity,
     "margins": _eval_margins,
+    "marginmc": _eval_marginmc,
     "montecarlo": _eval_montecarlo,
     "workload": _eval_workload,
 }

@@ -29,12 +29,21 @@ from repro.sim.engine import (
     TrialKernel,
     simulate_cave_yield_batched,
 )
+from repro.sim.margins import (
+    MarginYieldKernel,
+    applied_voltage_matrix,
+    block_margins_batched,
+    conflict_matrix,
+    pair_block_matrix,
+    select_margins_batched,
+)
 
 __all__ = [
     "CaveYieldKernel",
     "Chunk",
     "DEFAULT_MAX_TRIALS_PER_CHUNK",
     "DEFAULT_STREAM_BLOCK",
+    "MarginYieldKernel",
     "MetricSummary",
     "MomentSet",
     "MonteCarloEngine",
@@ -43,8 +52,13 @@ __all__ = [
     "SimResult",
     "StreamingMoments",
     "TrialKernel",
+    "applied_voltage_matrix",
+    "block_margins_batched",
+    "conflict_matrix",
+    "pair_block_matrix",
     "plan_chunks",
     "resolve_rng",
+    "select_margins_batched",
     "simulate_cave_yield_batched",
     "spawn_block_streams",
     "validate_chunk",

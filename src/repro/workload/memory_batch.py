@@ -42,7 +42,7 @@ import numpy as np
 
 from repro.codes.base import CodeSpace
 from repro.crossbar.defects import DefectMap, sample_layer_mask
-from repro.crossbar.ecc import EccError, SecdedCode, decode_blocks, encode_blocks
+from repro.crossbar.ecc import EccError, SecdedCode, decode_blocks
 from repro.crossbar.memory import CapacityError, CrossbarMemory
 from repro.crossbar.spec import CrossbarSpec
 from repro.sim.batch import (

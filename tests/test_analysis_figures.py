@@ -1,7 +1,6 @@
 """Unit tests for repro.analysis.figures — the figure data generators."""
 
 import numpy as np
-import pytest
 
 from repro.analysis.figures import (
     fig5_fabrication_complexity,

@@ -95,7 +95,26 @@ class TestSubcommands:
     def test_margins(self, capsys):
         code, out = run_cli(capsys, "margins", "-M", "8")
         assert code == 0
-        assert "select" in out and "BGC" in out
+        assert "select" in out and "BGC" in out and "margin yield" in out
+
+    def test_margins_with_sampling(self, capsys):
+        code, out = run_cli(
+            capsys, "margins", "--family", "BGC", "-M", "8",
+            "--samples", "200", "--seed", "1",
+        )
+        assert code == 0
+        assert "mc yield" in out and "mc stderr" in out
+
+    def test_margins_loop_batched_identical(self, capsys):
+        args = (
+            "margins", "--family", "GC,BGC", "-M", "8",
+            "--samples", "150", "--seed", "3", "--format", "json",
+        )
+        _, batched = run_cli(capsys, *args, "--method", "batched")
+        _, loop = run_cli(capsys, *args, "--method", "loop")
+        lhs, rhs = json.loads(batched), json.loads(loop)
+        lhs.pop("method"), rhs.pop("method")
+        assert lhs == rhs
 
     def test_readout(self, capsys):
         code, out = run_cli(capsys, "readout", "--scheme", "float")
@@ -107,6 +126,55 @@ class TestSubcommands:
         assert code == 0
         assert "shipped defaults error" in out
 
+class TestMarginsGoldens:
+    """Seeded goldens for ``repro margins`` (same contract as
+    tests/test_sim_golden.py: rel=1e-12 pins the draws and the masking,
+    while ignoring float summation-order noise)."""
+
+    GOLDEN_RTOL = 1e-12
+
+    #: repro margins --family GC,BGC -M 8 --samples 300 --seed 7
+    #:               --k-sigma 2.0 --format json
+    GOLDEN = {
+        "GC": {
+            "select_margin_v": -0.08166247903554003,
+            "block_margin_v": -0.08166247903554003,
+            "margin_yield": 0.3,
+            "mc_margin_yield": 0.5053333333333334,
+            "mc_stderr": 0.007138904252087686,
+            "mc_select_margin_v": -0.04379056342135855,
+            "mc_block_margin_v": 0.0012443309246753281,
+        },
+        "BGC": {
+            "select_margin_v": 0.005051025721682201,
+            "block_margin_v": 0.005051025721682256,
+            "margin_yield": 1.0,
+            "mc_margin_yield": 0.4975,
+            "mc_stderr": 0.0074627465720810944,
+            "mc_select_margin_v": -0.014351499886521143,
+            "mc_block_margin_v": 0.015387290962775696,
+        },
+    }
+
+    def test_seeded_margins_golden(self, capsys):
+        code, out = run_cli(
+            capsys, "margins", "--family", "GC,BGC", "-M", "8",
+            "--samples", "300", "--seed", "7", "--k-sigma", "2.0",
+            "--format", "json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["k_sigma"] == 2.0 and payload["seed"] == 7
+        by_family = {r["family"]: r for r in payload["families"]}
+        assert set(by_family) == set(self.GOLDEN)
+        for family, golden in self.GOLDEN.items():
+            for key, value in golden.items():
+                assert by_family[family][key] == pytest.approx(
+                    value, rel=self.GOLDEN_RTOL
+                ), (family, key)
+
+
+class TestPlatformKnobs:
     def test_platform_knobs_change_results(self, capsys):
         _, loose = run_cli(capsys, "evaluate", "TC", "-M", "6")
         _, tight = run_cli(

@@ -5,7 +5,6 @@ import pytest
 from repro.codes.balanced import BalancedGrayCode, balanced_gray_words
 from repro.codes.base import CodeError
 from repro.codes.metrics import (
-    digit_transition_counts,
     is_gray_sequence,
     max_digit_transitions,
 )

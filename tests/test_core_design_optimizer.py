@@ -6,7 +6,6 @@ from repro.codes import make_code
 from repro.core.design import DecoderDesign
 from repro.core.objectives import OBJECTIVES, get_objective
 from repro.core.optimizer import explore_designs, optimize_design
-from repro.crossbar.spec import CrossbarSpec
 
 
 class TestDecoderDesign:

@@ -102,7 +102,6 @@ class TestFloatingScheme:
         n = 16
         r = model.r_on
         sneak = 2 * r / (n - 1) + r / (n - 1) ** 2
-        expected = model.v_read / (1 / (1 / r + 1 / sneak)) ** -1  # V / R_parallel
         expected_current = model.v_read * (1 / r + 1 / sneak)
         i_on = model.read_current(np.ones((n, n), bool), 0, 0)
         assert i_on == pytest.approx(expected_current, rel=0.05)

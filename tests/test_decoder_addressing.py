@@ -13,7 +13,6 @@ from repro.decoder.addressing import (
     wire_addressability,
 )
 from repro.decoder.pattern import pattern_matrix
-from repro.device.threshold import LevelScheme
 
 
 class TestConductingWires:

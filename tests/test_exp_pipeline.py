@@ -19,7 +19,6 @@ from repro.cli import main
 from repro.codes.base import CodeError
 from repro.codes.registry import ALL_FAMILIES, make_code
 from repro.crossbar.area import effective_bit_area
-from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import crossbar_yield
 from repro.exp import (
     DesignPoint,

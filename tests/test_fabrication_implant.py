@@ -1,6 +1,5 @@
 """Unit tests for repro.device.implant — implantation planning."""
 
-import numpy as np
 import pytest
 
 from repro.codes import GrayCode

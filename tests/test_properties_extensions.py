@@ -9,7 +9,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.codes import CodeSpace, TreeCode
+from repro.codes import TreeCode
 from repro.codes.optimal import sigma_cost_of_order
 from repro.crossbar.readout import ReadoutModel
 from repro.decoder.stochastic import (

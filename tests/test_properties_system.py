@@ -16,7 +16,6 @@ from repro.fabrication.doping import (
     DopingPlan,
     accumulate_doses,
     default_digit_map,
-    step_doping_matrix,
 )
 
 

@@ -1,0 +1,256 @@
+"""Margin engine: batched-vs-scalar equivalence, invariance, properties.
+
+The PR-4 contract (see ``repro/sim/margins.py``):
+
+* the broadcast analytic margins are **byte-identical** to the scalar
+  per-pair loops for every family/valence/size/k;
+* the margin-yield Monte-Carlo produces **identical** sampled yields
+  from ``method="loop"`` and ``method="batched"`` (both ride the same
+  spawned per-block streams) and is invariant to
+  ``max_trials_per_chunk``;
+* shrinking ``k_sigma`` never shrinks a margin (hypothesis property);
+* the ``repro margins`` CLI output is pinned by seeded goldens.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes import make_code
+from repro.crossbar.montecarlo import (
+    simulate_cave_yield,
+    simulate_halfcave_yield,
+    simulate_margin_yield,
+)
+from repro.crossbar.spec import CrossbarSpec
+from repro.crossbar.yield_model import decoder_for
+from repro.decoder.margins import (
+    applied_voltages,
+    block_margins,
+    margin_report,
+    margin_yield,
+    select_margins,
+)
+from repro.decoder.pattern import pattern_matrix
+from repro.decoder.variability import dose_count_matrix
+from repro.device.threshold import LevelScheme
+from repro.fabrication.doping import DopingPlan
+from repro.sim.margins import (
+    MarginYieldKernel,
+    applied_voltage_matrix,
+    conflict_matrix,
+    pair_block_matrix,
+)
+
+DESIGNS = [
+    ("TC", 2, 6),
+    ("GC", 2, 8),
+    ("BGC", 2, 10),
+    ("HC", 2, 6),
+    ("AHC", 2, 6),
+    ("TC", 3, 6),
+    ("GC", 3, 6),
+]
+
+
+def margin_inputs(family, n, length, nanowires):
+    space = make_code(family, n, length)
+    patterns = pattern_matrix(space, nanowires)
+    nu = dose_count_matrix(DopingPlan.from_code(space, nanowires).steps)
+    return space, patterns, nu, LevelScheme(space.n)
+
+
+class TestAnalyticEquivalence:
+    @pytest.mark.parametrize("family,n,length", DESIGNS)
+    @pytest.mark.parametrize("nanowires", [7, 20, 41])
+    def test_byte_identical_margins(self, family, n, length, nanowires):
+        _, patterns, nu, scheme = margin_inputs(family, n, length, nanowires)
+        for k_sigma in (0.0, 1.0, 3.0):
+            loop = select_margins(
+                patterns, nu, scheme, k_sigma=k_sigma, method="loop"
+            )
+            batched = select_margins(
+                patterns, nu, scheme, k_sigma=k_sigma, method="batched"
+            )
+            assert np.array_equal(loop, batched)
+            loop = block_margins(
+                patterns, nu, scheme, k_sigma=k_sigma, method="loop"
+            )
+            batched = block_margins(
+                patterns, nu, scheme, k_sigma=k_sigma, method="batched"
+            )
+            assert np.array_equal(loop, batched)
+
+    @pytest.mark.parametrize("family,n,length", DESIGNS)
+    def test_byte_identical_reports_and_yields(self, family, n, length):
+        space = make_code(family, n, length)
+        assert margin_report(space, 20, method="loop") == margin_report(
+            space, 20, method="batched"
+        )
+        assert margin_yield(space, 20, k_sigma=1.5, method="loop") == margin_yield(
+            space, 20, k_sigma=1.5, method="batched"
+        )
+
+    def test_unknown_method_rejected(self):
+        space = make_code("TC", 2, 6)
+        with pytest.raises(ValueError, match="unknown method"):
+            margin_report(space, 20, method="vectorised")
+
+
+class TestBatchedHelpers:
+    def test_applied_voltage_matrix_rows(self):
+        _, patterns, _, scheme = margin_inputs("GC", 2, 8, 20)
+        va = applied_voltage_matrix(patterns, scheme)
+        for i in range(patterns.shape[0]):
+            assert np.array_equal(va[i], applied_voltages(patterns[i], scheme))
+
+    def test_conflict_matrix_skips_copies_and_diagonal(self):
+        patterns = np.array([[0, 1], [1, 0], [0, 1]])
+        conflicts = conflict_matrix(patterns)
+        assert not conflicts.diagonal().any()
+        # wires 0 and 2 are pattern copies -> never in conflict
+        assert not conflicts[0, 2] and not conflicts[2, 0]
+        assert conflicts[0, 1] and conflicts[1, 2]
+
+    def test_pair_block_matrix_inf_on_non_conflicts(self):
+        patterns = np.array([[0, 1], [1, 0], [0, 1]])
+        pair = pair_block_matrix(
+            patterns, np.zeros(patterns.shape), LevelScheme(2)
+        )
+        assert np.isinf(pair.diagonal()).all()
+        assert np.isinf(pair[0, 2]) and np.isinf(pair[2, 0])
+        assert np.isfinite(pair[0, 1]) and np.isfinite(pair[1, 0])
+
+
+class TestMarginYieldMonteCarlo:
+    SPEC = CrossbarSpec()
+
+    def test_loop_and_batched_identical(self):
+        code = make_code("GC", 2, 8)
+        batched = simulate_margin_yield(
+            self.SPEC, code, samples=400, seed=11, k_sigma=2.0
+        )
+        loop = simulate_margin_yield(
+            self.SPEC, code, samples=400, seed=11, k_sigma=2.0, method="loop"
+        )
+        assert batched == loop
+
+    def test_chunk_size_invariance(self):
+        code = make_code("BGC", 2, 8)
+        reference = simulate_margin_yield(
+            self.SPEC, code, samples=600, seed=5, stream_block=128
+        )
+        for chunk in (1, 128, 500, 1 << 20):
+            again = simulate_margin_yield(
+                self.SPEC,
+                code,
+                samples=600,
+                seed=5,
+                stream_block=128,
+                max_trials_per_chunk=chunk,
+            )
+            assert again == reference, chunk
+
+    def test_seed_determinism_and_sensitivity(self):
+        code = make_code("TC", 2, 6)
+        a = simulate_margin_yield(self.SPEC, code, samples=200, seed=3)
+        b = simulate_margin_yield(self.SPEC, code, samples=200, seed=3)
+        c = simulate_margin_yield(self.SPEC, code, samples=200, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_stricter_k_never_raises_yield(self):
+        """Same seed, same draws: a higher guard can only unpass wires."""
+        code = make_code("BGC", 2, 8)
+        yields = [
+            simulate_margin_yield(
+                self.SPEC, code, samples=300, seed=0, k_sigma=k
+            ).mean_margin_yield
+            for k in (0.0, 1.0, 2.0, 3.0)
+        ]
+        assert all(a >= b for a, b in zip(yields, yields[1:]))
+
+    def test_single_sample_sem_guard(self):
+        mc = simulate_margin_yield(
+            self.SPEC, make_code("TC", 2, 6), samples=1, seed=0
+        )
+        assert mc.samples == 1
+        assert mc.stderr == 0.0
+        assert mc.std_margin_yield == 0.0
+
+    def test_invalid_inputs_rejected(self):
+        code = make_code("TC", 2, 6)
+        with pytest.raises(ValueError, match="unknown method"):
+            simulate_margin_yield(self.SPEC, code, samples=10, method="serial")
+        with pytest.raises(ValueError, match="at least one sample"):
+            simulate_margin_yield(self.SPEC, code, samples=0)
+        with pytest.raises(ValueError, match="k_sigma"):
+            simulate_margin_yield(self.SPEC, code, samples=10, k_sigma=-1.0)
+
+    def test_halfcave_alias_routes_through_batched(self):
+        code = make_code("TC", 2, 6)
+        alias = simulate_halfcave_yield(self.SPEC, code, samples=50, seed=1)
+        assert alias == simulate_cave_yield(self.SPEC, code, samples=50, seed=1)
+        loop = simulate_halfcave_yield(
+            self.SPEC, code, samples=50, seed=1, method="loop"
+        )
+        assert loop == simulate_cave_yield(
+            self.SPEC, code, samples=50, seed=1, method="loop"
+        )
+
+    def test_kernel_rejects_conflict_free_half_cave(self):
+        class Degenerate:
+            patterns = np.zeros((3, 2), dtype=int)
+            nu = np.ones((3, 2))
+            scheme = LevelScheme(2)
+            sigma_t = 0.05
+
+        with pytest.raises(ValueError, match="no wire has a conflicting"):
+            MarginYieldKernel(Degenerate())
+
+    def test_kernel_realised_margins_match_analytic_at_nominal(self):
+        """With zero noise the realised margins are the k=0 analytic ones."""
+        code = make_code("GC", 2, 8)
+        decoder = decoder_for(self.SPEC, code)
+        kernel = MarginYieldKernel(decoder, k_sigma=0.0)
+        select, block = kernel.realised_margins(kernel.nominal)
+        assert np.array_equal(
+            select,
+            select_margins(
+                decoder.patterns, decoder.nu, decoder.scheme, k_sigma=0.0
+            ),
+        )
+        assert np.array_equal(
+            block,
+            block_margins(
+                decoder.patterns, decoder.nu, decoder.scheme, k_sigma=0.0
+            ),
+        )
+
+
+class TestKSigmaProperty:
+    @given(
+        k_lo=st.floats(min_value=0.0, max_value=10.0),
+        k_hi=st.floats(min_value=0.0, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_shrinking_k_never_shrinks_margins(self, k_lo, k_hi):
+        if k_lo > k_hi:
+            k_lo, k_hi = k_hi, k_lo
+        _, patterns, nu, scheme = margin_inputs("BGC", 2, 8, 20)
+        loose_select = select_margins(patterns, nu, scheme, k_sigma=k_lo)
+        tight_select = select_margins(patterns, nu, scheme, k_sigma=k_hi)
+        assert (tight_select <= loose_select).all()
+        loose_block = block_margins(patterns, nu, scheme, k_sigma=k_lo)
+        tight_block = block_margins(patterns, nu, scheme, k_sigma=k_hi)
+        assert (tight_block <= loose_block).all()
+
+    @given(k=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=40, deadline=None)
+    def test_loop_batched_agree_at_any_k(self, k):
+        _, patterns, nu, scheme = margin_inputs("GC", 2, 6, 12)
+        assert np.array_equal(
+            block_margins(patterns, nu, scheme, k_sigma=k, method="loop"),
+            block_margins(patterns, nu, scheme, k_sigma=k, method="batched"),
+        )

@@ -417,10 +417,10 @@ class TestMemsimCli:
         _, loop = self.run_cli(capsys, *args, "--method", "loop")
         import json
 
-        b, l = json.loads(batched), json.loads(loop)
-        b.pop("accesses_per_second"), l.pop("accesses_per_second")
-        b.pop("method"), l.pop("method")
-        assert b == l
+        lhs, rhs = json.loads(batched), json.loads(loop)
+        lhs.pop("accesses_per_second"), rhs.pop("accesses_per_second")
+        lhs.pop("method"), rhs.pop("method")
+        assert lhs == rhs
 
     def test_sweep_seed_changes_workload(self, capsys):
         base = (
