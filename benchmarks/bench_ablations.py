@@ -47,7 +47,9 @@ def test_ablation_window_margin(benchmark, emit):
     emit(
         "ablation_window_margin",
         "Ablation — addressability window margin\n"
-        + render_table(["margin", "BGC/10", "TC/6", "advantage"], _rows(records, "margin")),
+        + render_table(
+            ["margin", "BGC/10", "TC/6", "advantage"], _rows(records, "margin")
+        ),
     )
     # the BGC advantage is structural: it holds at every margin
     for r in records:
@@ -83,7 +85,9 @@ def test_ablation_sigma_t(benchmark, emit):
     emit(
         "ablation_sigma_t",
         "Ablation — per-dose VT variability sigma_T [V]\n"
-        + render_table(["sigma_T", "BGC/10", "TC/6", "advantage"], _rows(records, "sigma_t")),
+        + render_table(
+            ["sigma_T", "BGC/10", "TC/6", "advantage"], _rows(records, "sigma_t")
+        ),
     )
     # yield decreases monotonically with sigma_T for both designs
     bgc = [r["bgc10_yield"] for r in records]
@@ -132,7 +136,9 @@ def test_ablation_nanowires_per_half_cave(benchmark, emit):
     emit(
         "ablation_nanowires",
         "Ablation — nanowires per half cave N\n"
-        + render_table(["N", "BGC/10", "TC/6", "advantage"], _rows(records, "nanowires")),
+        + render_table(
+            ["N", "BGC/10", "TC/6", "advantage"], _rows(records, "nanowires")
+        ),
     )
     # deeper half caves accumulate more doses -> lower yield for both
     bgc = [r["bgc10_yield"] for r in records]

@@ -90,9 +90,7 @@ def _frozen_margin_yield_trial(vt, va, patterns, guard_v):
 
 def _frozen_simulate_margin_yield(spec, space, samples, seed=0, k_sigma=K_SIGMA):
     """Seed-style sampler: one VT draw + pairwise loop per trial."""
-    patterns, nominal, std, va = _frozen_margin_inputs(
-        space, NANOWIRES, spec.sigma_t
-    )
+    patterns, nominal, std, va = _frozen_margin_inputs(space, NANOWIRES, spec.sigma_t)
     guard_v = k_sigma * spec.sigma_t
     rng = np.random.default_rng(seed)
     yields = np.empty(samples)
@@ -104,9 +102,7 @@ def _frozen_simulate_margin_yield(spec, space, samples, seed=0, k_sigma=K_SIGMA)
 
 def _frozen_analytic_margins(spec, space, k_sigma=3.0):
     """Seed-style analytic report: the per-wire / per-pair loops."""
-    patterns, nominal, std, va = _frozen_margin_inputs(
-        space, NANOWIRES, spec.sigma_t
-    )
+    patterns, nominal, std, va = _frozen_margin_inputs(space, NANOWIRES, spec.sigma_t)
     n_wires = patterns.shape[0]
     select = np.empty(n_wires)
     block = np.full(n_wires, np.inf)
@@ -140,9 +136,7 @@ def _interleaved_family_sweep(spec, codes):
                 loop_done += seg
                 done += seg
             start = time.perf_counter()
-            simulate_margin_yield(
-                spec, code, samples=TRIALS, seed=0, k_sigma=K_SIGMA
-            )
+            simulate_margin_yield(spec, code, samples=TRIALS, seed=0, k_sigma=K_SIGMA)
             batched_time += time.perf_counter() - start
             batched_done += TRIALS
     return loop_done / loop_time, batched_done / batched_time

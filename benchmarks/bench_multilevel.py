@@ -11,9 +11,7 @@ from repro.analysis.report import render_table
 
 
 def test_multilevel_orderings(benchmark, emit, spec):
-    points = benchmark(
-        multilevel_comparison, valences=(2, 3, 4), digits=6, spec=spec
-    )
+    points = benchmark(multilevel_comparison, valences=(2, 3, 4), digits=6, spec=spec)
 
     rows = [
         [
@@ -37,4 +35,6 @@ def test_multilevel_orderings(benchmark, emit, spec):
     assert orderings_hold(points)
     # higher valence packs more addresses into the same digit budget
     by = {(p.n, p.family): p for p in points}
-    assert by[(4, "TC")].code_space > by[(3, "TC")].code_space > by[(2, "TC")].code_space
+    assert (
+        by[(4, "TC")].code_space > by[(3, "TC")].code_space > by[(2, "TC")].code_space
+    )

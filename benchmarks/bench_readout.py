@@ -1,35 +1,65 @@
-"""READ — sneak-path sense margins vs bank size (memory substrate).
+"""READ — batched sneak-path readout engine vs the scalar stamping loop.
 
-Not a paper figure: the paper assumes the crossbar "functions as a
-memory" and this bench quantifies the electrical constraint behind that
-assumption.  With unselected lines floating, sneak paths collapse the
-worst-case read margin as the bank grows — the reason arrays are
-segmented into cave-sized banks rather than read as one monolithic
-16 kB plane.
+Three jobs in one bench:
+
+1. regenerate the sense-margin-vs-bank-size view of the memory
+   substrate (not a paper figure: the paper assumes the crossbar
+   "functions as a memory", and this table quantifies the electrical
+   constraint behind that assumption — floating-scheme margins collapse
+   with bank size, the reason arrays are segmented into cave-sized
+   banks rather than read as one monolithic 16 kB plane);
+2. regenerate the distributed-line (IR-drop) comparison of the two
+   crosspoint technologies;
+3. gate the PR-5 readout engine: the batched all-scheme worst-case
+   margin sweep of a 64 x 64 bank must run >= 10x faster than the
+   ``method="loop"`` scalar reference (per-cell Python stamping, one
+   dense solve per read) while producing *byte-identical* margins, and
+   the block-RHS cell batches must match per-cell solves within solver
+   tolerance (1e-9 relative on the dense path, 1e-6 on the sparse
+   distributed path).
+
+The two sides are timed in interleaved segments and aggregated by
+total time, for the same noisy-shared-runner reasons as
+``bench_sim_engine.py``.  Machine-readable gate numbers land in
+``benchmarks/output/BENCH_readout.json``.
+
+Environment knobs for smoke runs (see ``run_checks.sh``):
+
+* ``READOUT_BENCH_REPEATS``     — interleaved timing segments (default 3)
+* ``READOUT_BENCH_BATCHED_REPS``— batched sweeps per segment (default 5)
+* ``READOUT_BENCH_MIN_SPEEDUP`` — asserted floor (default 10.0)
 """
 
+import os
+import time
+
+import numpy as np
+
 from repro.analysis.report import render_table
-from repro.crossbar.readout import ReadoutModel, margin_vs_bank_size
+from repro.crossbar.readout import SCHEMES, ReadoutModel
+from repro.sim.readout import scheme_margin_sweep
+
+REPEATS = max(1, int(os.environ.get("READOUT_BENCH_REPEATS", 3)))
+BATCHED_REPS = max(1, int(os.environ.get("READOUT_BENCH_BATCHED_REPS", 5)))
+MIN_SPEEDUP = float(os.environ.get("READOUT_BENCH_MIN_SPEEDUP", 10.0))
 
 SIZES = (4, 8, 16, 20, 32, 64)
+GATE_SIZE = 64
 
 
 def run_margins():
-    out = {}
-    for scheme in ("float", "half_v", "ground"):
-        model = ReadoutModel(scheme=scheme)
-        out[scheme] = margin_vs_bank_size(model, SIZES)
-    return out
+    sweep = scheme_margin_sweep(SIZES)
+    return {scheme: list(zip(SIZES, sweep[scheme])) for scheme in SCHEMES}
 
 
 def test_readout_margins(benchmark, emit):
     results = benchmark(run_margins)
 
     rows = []
-    for size in SIZES:
+    for k, size in enumerate(SIZES):
         row = [size]
         for scheme in ("float", "half_v", "ground"):
-            margin = dict(results[scheme])[size]
+            margin = results[scheme][k][1]
             row.append(f"{100 * margin:.1f}%")
         rows.append(row)
     emit(
@@ -91,3 +121,125 @@ def test_distributed_line_resistance(benchmark, emit):
     low_z = results["low-Z crosspoints (100k/10M)"]
     mol = results["molecular crosspoints (10M/1G)"]
     assert mol[1] > 5 * low_z[1]
+
+
+# -- the engine gate -----------------------------------------------------------
+
+
+def _loop_sweep(size):
+    """All-scheme worst-case margins with the scalar reference path."""
+    return {
+        scheme: ReadoutModel(scheme=scheme, method="loop").sense_margin(size, size)
+        for scheme in SCHEMES
+    }
+
+
+def _interleaved_timing():
+    loop_time = 0.0
+    loop_sweeps = 0
+    batched_time = 0.0
+    batched_sweeps = 0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        _loop_sweep(GATE_SIZE)
+        loop_time += time.perf_counter() - start
+        loop_sweeps += 1
+        start = time.perf_counter()
+        for _ in range(BATCHED_REPS):
+            scheme_margin_sweep((GATE_SIZE,))
+        batched_time += time.perf_counter() - start
+        batched_sweeps += BATCHED_REPS
+    return loop_sweeps / loop_time, batched_sweeps / batched_time
+
+
+def test_readout_engine_speedup(emit, emit_json):
+    # warm-up both paths (imports, BLAS threads) before any timing
+    _loop_sweep(8)
+    scheme_margin_sweep((8,))
+
+    loop_rate, batched_rate = _interleaved_timing()
+    speedup = batched_rate / loop_rate
+
+    # -- correctness gates (full strictness at any budget) --------------------
+
+    # byte-identical margins: batched sweep vs the scalar loop path
+    check_sizes = (8, 20, GATE_SIZE)
+    batched = scheme_margin_sweep(check_sizes)
+    for scheme in SCHEMES:
+        loop_model = ReadoutModel(scheme=scheme, method="loop")
+        for k, size in enumerate(check_sizes):
+            assert batched[scheme][k] == loop_model.sense_margin(size, size), (
+                scheme,
+                size,
+            )
+
+    # block-RHS cell batches match per-cell solves (dense ideal path)
+    rng = np.random.default_rng(0)
+    states = rng.random((16, 16)) < 0.5
+    cells = np.stack([rng.integers(16, size=32), rng.integers(16, size=32)], axis=1)
+    for scheme in SCHEMES:
+        model = ReadoutModel(scheme=scheme)
+        block = model.read_currents(states, cells)
+        per_cell = np.array(
+            [model.read_current(states, int(r), int(c)) for r, c in cells]
+        )
+        assert np.allclose(block, per_cell, rtol=1e-9), scheme
+
+    # sparse distributed path within documented solver tolerance
+    from repro.crossbar.readout_distributed import DistributedReadout
+
+    dist_states = rng.random((12, 12)) < 0.5
+    dist_cells = np.stack([rng.integers(12, size=8), rng.integers(12, size=8)], axis=1)
+    for scheme in SCHEMES:
+        batched_dist = DistributedReadout(
+            base=ReadoutModel(scheme=scheme),
+            row_segment_ohm=200.0,
+            col_segment_ohm=200.0,
+        )
+        loop_dist = DistributedReadout(
+            base=ReadoutModel(scheme=scheme),
+            row_segment_ohm=200.0,
+            col_segment_ohm=200.0,
+            method="loop",
+        )
+        assert np.allclose(
+            batched_dist.read_currents(dist_states, dist_cells),
+            loop_dist.read_currents(dist_states, dist_cells),
+            rtol=1e-6,
+        ), scheme
+
+    emit(
+        "readout_engine_speedup",
+        f"Batched readout engine vs scalar stamping loop "
+        f"({GATE_SIZE} x {GATE_SIZE} all-scheme margin sweep)\n"
+        + render_table(
+            ["side", "sweeps/s"],
+            [
+                ["scalar loop", f"{loop_rate:,.1f}"],
+                ["batched engine", f"{batched_rate:,.1f}"],
+                ["speedup", f"{speedup:.1f}x"],
+            ],
+        ),
+    )
+    emit_json(
+        "readout",
+        {
+            "gate_size": GATE_SIZE,
+            "schemes": list(SCHEMES),
+            "repeats": REPEATS,
+            "batched_reps": BATCHED_REPS,
+            "min_speedup": MIN_SPEEDUP,
+            "loop_sweeps_per_s": loop_rate,
+            "batched_sweeps_per_s": batched_rate,
+            "speedup_vs_scalar_loop": speedup,
+            "margins_float": dict(
+                zip((str(s) for s in check_sizes), batched["float"])
+            ),
+        },
+    )
+
+    # -- the perf gate ---------------------------------------------------------
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched readout engine only {speedup:.1f}x faster than the scalar "
+        f"stamping loop (floor {MIN_SPEEDUP}x)"
+    )

@@ -100,9 +100,7 @@ class _SeedDecoder:
         digit_map = default_digit_map(space.n, self.scheme)
         self.plan = DopingPlan.from_pattern(self.patterns, digit_map)
         self.nu = dose_count_matrix(self.plan.steps)
-        self.group_plan = plan_contact_groups(
-            self.nanowires, space.size, self.rules
-        )
+        self.group_plan = plan_contact_groups(self.nanowires, space.size, self.rules)
         self.electrical_yield = float(
             wire_addressability(self.nu, self.scheme, self.sigma_t).mean()
         )

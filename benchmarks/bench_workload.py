@@ -99,8 +99,11 @@ def test_workload_speedup(benchmark, emit, emit_json, spec):
     # -- correctness gates before any timing ---------------------------------
     equiv_trace = _slice_trace(trace, min(20_000, ACCESSES))
     batched_small = loop_fleet.run(
-        equiv_trace, method="batched", chunk_size=4096,
-        collect_reads=True, collect_state=True,
+        equiv_trace,
+        method="batched",
+        chunk_size=4096,
+        collect_reads=True,
+        collect_state=True,
     )
     loop_small = loop_fleet.run(
         equiv_trace, method="loop", collect_reads=True, collect_state=True
@@ -108,9 +111,7 @@ def test_workload_speedup(benchmark, emit, emit_json, spec):
     loop_equivalent = _equal_runs(batched_small, loop_small)
     assert loop_equivalent, "batched result differs from the scalar loop"
 
-    full_a = fleet.run(
-        trace, chunk_size=65_536, collect_reads=True, collect_state=True
-    )
+    full_a = fleet.run(trace, chunk_size=65_536, collect_reads=True, collect_state=True)
     full_b = fleet.run(
         trace, chunk_size=262_144, collect_reads=True, collect_state=True
     )
@@ -124,9 +125,7 @@ def test_workload_speedup(benchmark, emit, emit_json, spec):
     def run_rates():
         return _interleaved_rates(fleet, loop_fleet, trace, loop_trace)
 
-    loop_rate, batched_rate = benchmark.pedantic(
-        run_rates, rounds=1, iterations=1
-    )
+    loop_rate, batched_rate = benchmark.pedantic(run_rates, rounds=1, iterations=1)
     speedup = batched_rate / loop_rate
 
     result = full_a

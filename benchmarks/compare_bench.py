@@ -113,9 +113,7 @@ def main(argv=None) -> int:
         side = "baseline" if name in baseline else "current"
         print(f"note: {name} only in {side}; not compared")
 
-    rows = list(
-        compare(baseline, current, args.max_regression, args.strict_throughput)
-    )
+    rows = list(compare(baseline, current, args.max_regression, args.strict_throughput))
     if not rows:
         print("no comparable gates found")
         return 0

@@ -48,7 +48,8 @@ def emit_json():
     def _emit_json(name: str, payload: dict) -> Path:
         path = OUTPUT_DIR / f"BENCH_{name}.json"
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-        print(f"\n=== BENCH_{name}.json ===\n{json.dumps(payload, indent=2, sort_keys=True)}")
+        dump = json.dumps(payload, indent=2, sort_keys=True)
+        print(f"\n=== BENCH_{name}.json ===\n{dump}")
         return path
 
     return _emit_json

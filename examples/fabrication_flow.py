@@ -30,11 +30,14 @@ def show_matrix(label: str, matrix: np.ndarray, fmt: str) -> None:
 
 def main() -> None:
     # -- geometry: the spacer loop -----------------------------------------
-    process = MSPTProcess(recipe=SpacerRecipe(poly_thickness_nm=6,
-                                              oxide_thickness_nm=4))
+    process = MSPTProcess(
+        recipe=SpacerRecipe(poly_thickness_nm=6, oxide_thickness_nm=4)
+    )
     array = process.fabricate_half_cave(nanowires=8)
-    print(f"MSPT array: {array.half_cave_count} nanowires per half cave, "
-          f"pitch {array.pitch_nm:.0f} nm, symmetric: {array.is_symmetric()}")
+    print(
+        f"MSPT array: {array.half_cave_count} nanowires per half cave, "
+        f"pitch {array.pitch_nm:.0f} nm, symmetric: {array.is_symmetric()}"
+    )
 
     # -- the decoder doping plan (ternary Gray code) ------------------------
     code = GrayCode(n=3, length=2)   # reflected on the wire: M = 4 regions

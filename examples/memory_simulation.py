@@ -60,9 +60,7 @@ def main() -> None:
     from repro import MemoryFleet, make_trace
 
     fleet = MemoryFleet.sample(spec, code, instances=8, seed=7)
-    trace = make_trace(
-        "zipfian", 200_000, int(analytic.effective_bits), seed=7
-    )
+    trace = make_trace("zipfian", 200_000, int(analytic.effective_bits), seed=7)
     result = fleet.run(trace)
     print(f"\nFleet of {fleet.instances} instances under "
           f"{trace.accesses:,} zipfian accesses:")

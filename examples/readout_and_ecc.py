@@ -25,9 +25,7 @@ def readout_study() -> None:
     for scheme in ("float", "half_v", "ground"):
         model = ReadoutModel(scheme=scheme)
         margins = dict(margin_vs_bank_size(model, (8, 20, 64)))
-        rows.append(
-            [scheme] + [f"{100 * margins[s]:.1f}%" for s in (8, 20, 64)]
-        )
+        rows.append([scheme] + [f"{100 * margins[s]:.1f}%" for s in (8, 20, 64)])
     print(render_table(["scheme", "8x8", "20x20", "64x64"], rows))
 
     model = ReadoutModel(scheme="float")

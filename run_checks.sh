@@ -77,4 +77,19 @@ else
 fi
 
 echo
+echo "== readout-engine perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: 64x64 all-scheme margin sweep, >= 10x vs the
+    # scalar per-cell stamping loop, margins byte-identical
+    python -m pytest -q benchmarks/bench_readout.py
+else
+    # fewer timing segments with a loose floor so container noise
+    # cannot flake it; correctness gates (byte-identical margins,
+    # block-RHS equivalence) run at full strictness either way
+    READOUT_BENCH_REPEATS=2 READOUT_BENCH_BATCHED_REPS=3 \
+    READOUT_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_readout.py
+fi
+
+echo
 echo "ok — reports in benchmarks/output/"

@@ -114,10 +114,7 @@ def fig6_variability_maps(
     table = function_sweep(
         {"family": list(families), "length": list(lengths)}, evaluate
     )
-    return {
-        (rec["family"], rec["length"]): rec["map"]
-        for rec in table.to_records()
-    }
+    return {(rec["family"], rec["length"]): rec["map"] for rec in table.to_records()}
 
 
 def fig7_crossbar_yield(

@@ -28,9 +28,7 @@ def render_table(
     widths = [len(h) for h in headers]
     for row in str_rows:
         if len(row) != len(headers):
-            raise ValueError(
-                f"row has {len(row)} cells, expected {len(headers)}"
-            )
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     def fmt(cells: Sequence[str]) -> str:

@@ -59,7 +59,9 @@ def bgc_variability_reduction(
     """
     reductions = []
     for length in lengths:
-        tc = average_variability(code_variability(make_code("TC", n, length), nanowires))
+        tc = average_variability(
+        code_variability(make_code("TC", n, length), nanowires)
+    )
         bgc = average_variability(
             code_variability(make_code("BGC", n, length), nanowires)
         )

@@ -36,9 +36,7 @@ def sweep(
     """
     from repro.exp.pipeline import iter_function_records
 
-    return list(
-        iter_function_records({name: values}, lambda **kw: evaluate(kw[name]))
-    )
+    return list(iter_function_records({name: values}, lambda **kw: evaluate(kw[name])))
 
 
 def grid_sweep(

@@ -14,6 +14,8 @@ Examples
     python -m repro simulate BGC -M 10 --samples 500
     python -m repro memsim BGC -M 10 --trace zipfian --accesses 1000000
     python -m repro memsim BGC -M 10 --ecc --error-rate 0.001 --format json
+    python -m repro readout --scheme all --sizes 4,8,16,32,64
+    python -m repro sweep --metric readout --axis nanowires=10,20,40
     python -m repro headline
     python -m repro theorems
     python -m repro baselines
@@ -55,16 +57,36 @@ def build_parser() -> argparse.ArgumentParser:
             "the Multi-Spacer Patterning Technique' (DAC 2009)."
         ),
     )
-    parser.add_argument("--raw-kb", type=float, default=16.0,
-                        help="raw crossbar density in kB (default 16)")
-    parser.add_argument("--nanowires", type=int, default=20,
-                        help="nanowires per half cave (default 20)")
-    parser.add_argument("--sigma-t", type=float, default=0.05,
-                        help="per-dose VT std deviation in V (default 0.05)")
-    parser.add_argument("--window-margin", type=float, default=1.0,
-                        help="addressability window margin (default 1.0)")
-    parser.add_argument("--contact-gap", type=float, default=1.0,
-                        help="contact dead gap in litho pitches (default 1.0)")
+    parser.add_argument(
+        "--raw-kb",
+        type=float,
+        default=16.0,
+        help="raw crossbar density in kB (default 16)",
+    )
+    parser.add_argument(
+        "--nanowires",
+        type=int,
+        default=20,
+        help="nanowires per half cave (default 20)",
+    )
+    parser.add_argument(
+        "--sigma-t",
+        type=float,
+        default=0.05,
+        help="per-dose VT std deviation in V (default 0.05)",
+    )
+    parser.add_argument(
+        "--window-margin",
+        type=float,
+        default=1.0,
+        help="addressability window margin (default 1.0)",
+    )
+    parser.add_argument(
+        "--contact-gap",
+        type=float,
+        default=1.0,
+        help="contact dead gap in litho pitches (default 1.0)",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -77,16 +99,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("evaluate", help="evaluate one decoder design")
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
-    p.add_argument("-M", "--length", type=int, required=True,
-                   help="total code length (doping regions)")
-    p.add_argument("-n", "--valence", type=int, default=2,
-                   help="logic valence (default 2)")
+    p.add_argument(
+        "-M",
+        "--length",
+        type=int,
+        required=True,
+        help="total code length (doping regions)",
+    )
+    p.add_argument(
+        "-n",
+        "--valence",
+        type=int,
+        default=2,
+        help="logic valence (default 2)",
+    )
 
     p = sub.add_parser("optimize", help="explore the design space")
-    p.add_argument("--objective", default="bit_area",
-                   choices=["complexity", "variability", "yield", "bit_area"])
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes for the exploration (0 = auto)")
+    p.add_argument(
+        "--objective",
+        default="bit_area",
+        choices=["complexity", "variability", "yield", "bit_area"],
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the exploration (0 = auto)",
+    )
 
     p = sub.add_parser(
         "sweep",
@@ -97,71 +136,167 @@ def build_parser() -> argparse.ArgumentParser:
             "cached exp pipeline and print a columnar result."
         ),
     )
-    p.add_argument("--families", default=",".join(["TC", "GC", "BGC", "HC", "AHC"]),
-                   help="comma-separated code families (default: all five)")
-    p.add_argument("--lengths", default="4,6,8,10",
-                   help="comma-separated total lengths M (default 4,6,8,10); "
-                        "inadmissible (family, M) pairs are skipped")
-    p.add_argument("-n", "--valence", type=int, default=2,
-                   help="logic valence (default 2)")
-    p.add_argument("--metric", default="yield",
-                   help="comma-separated metrics: yield,area,complexity,"
-                        "margins,marginmc,montecarlo,workload "
-                        "(default yield)")
-    p.add_argument("--axis", action="append", default=[],
-                   metavar="NAME=V1,V2,...",
-                   help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
-                        "(repeatable; crossed with the code grid)")
-    p.add_argument("--jobs", type=int, default=1,
-                   help="worker processes (1 = serial, 0 = auto); results "
-                        "are identical for any value")
-    p.add_argument("--format", default="table",
-                   choices=["table", "csv", "json"],
-                   help="output format (default table)")
+    p.add_argument(
+        "--families",
+        default=",".join(["TC", "GC", "BGC", "HC", "AHC"]),
+        help="comma-separated code families (default: all five)",
+    )
+    p.add_argument(
+        "--lengths",
+        default="4,6,8,10",
+        help="comma-separated total lengths M (default 4,6,8,10); "
+        "inadmissible (family, M) pairs are skipped",
+    )
+    p.add_argument(
+        "-n",
+        "--valence",
+        type=int,
+        default=2,
+        help="logic valence (default 2)",
+    )
+    p.add_argument(
+        "--metric",
+        default="yield",
+        help="comma-separated metrics: yield,area,complexity,"
+        "margins,marginmc,montecarlo,readout,workload "
+        "(default yield)",
+    )
+    p.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
+        "(repeatable; crossed with the code grid)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = auto); results "
+        "are identical for any value",
+    )
+    p.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "json"],
+        help="output format (default table)",
+    )
     p.add_argument("--output", help="write the formatted result to this file")
-    p.add_argument("--mc-samples", type=int, default=256,
-                   help="trials per point for the montecarlo and "
-                        "marginmc metrics")
-    p.add_argument("--k-sigma", type=float, default=3.0,
-                   help="criterion strictness k for the margins and "
-                        "marginmc metrics (default 3.0)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="root seed of the stochastic metrics (montecarlo, "
-                        "marginmc, workload); results are deterministic per "
-                        "seed and identical for any --jobs")
-    p.add_argument("--mc-seed", type=int, default=None,
-                   help="override the montecarlo root seed (default: --seed)")
-    p.add_argument("--wl-trace", default="zipfian",
-                   choices=["uniform", "sequential", "zipfian", "bursty"],
-                   help="trace kind for the workload metric (default zipfian)")
-    p.add_argument("--wl-accesses", type=int, default=4096,
-                   help="trace length per point for the workload metric")
-    p.add_argument("--wl-instances", type=int, default=4,
-                   help="sampled crossbar instances per point for the "
-                        "workload metric")
-    p.add_argument("--wl-ecc", action="store_true",
-                   help="protect the workload metric's payloads with SECDED")
-    p.add_argument("--wl-error-rate", type=float, default=0.0,
-                   help="per-stored-bit write-error probability for the "
-                        "workload metric (pairs with --wl-ecc to exercise "
-                        "corrected/uncorrectable counts)")
+    p.add_argument(
+        "--mc-samples",
+        type=int,
+        default=256,
+        help="trials per point for the montecarlo and "
+        "marginmc metrics",
+    )
+    p.add_argument(
+        "--k-sigma",
+        type=float,
+        default=3.0,
+        help="criterion strictness k for the margins and "
+        "marginmc metrics (default 3.0)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the stochastic metrics (montecarlo, "
+        "marginmc, workload); results are deterministic per "
+        "seed and identical for any --jobs",
+    )
+    p.add_argument(
+        "--mc-seed",
+        type=int,
+        default=None,
+        help="override the montecarlo root seed (default: --seed)",
+    )
+    p.add_argument(
+        "--wl-trace",
+        default="zipfian",
+        choices=["uniform", "sequential", "zipfian", "bursty"],
+        help="trace kind for the workload metric (default zipfian)",
+    )
+    p.add_argument(
+        "--wl-accesses",
+        type=int,
+        default=4096,
+        help="trace length per point for the workload metric",
+    )
+    p.add_argument(
+        "--wl-instances",
+        type=int,
+        default=4,
+        help="sampled crossbar instances per point for the "
+        "workload metric",
+    )
+    p.add_argument(
+        "--wl-ecc",
+        action="store_true",
+        help="protect the workload metric's payloads with SECDED",
+    )
+    p.add_argument(
+        "--wl-error-rate",
+        type=float,
+        default=0.0,
+        help="per-stored-bit write-error probability for the "
+        "workload metric (pairs with --wl-ecc to exercise "
+        "corrected/uncorrectable counts)",
+    )
+    p.add_argument(
+        "--ro-r-on",
+        type=float,
+        default=1.0e5,
+        help="crosspoint ON resistance for the readout metric "
+        "[ohm] (default 1e5)",
+    )
+    p.add_argument(
+        "--ro-r-off",
+        type=float,
+        default=1.0e7,
+        help="crosspoint OFF resistance for the readout metric "
+        "[ohm] (default 1e7)",
+    )
+    p.add_argument(
+        "--ro-min-margin",
+        type=float,
+        default=0.5,
+        help="sense-margin floor for the readout metric's "
+        "max-bank-size figure (default 0.5)",
+    )
 
     p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
     p.add_argument("-M", "--length", type=int, required=True)
     p.add_argument("-n", "--valence", type=int, default=2)
-    p.add_argument("--samples", type=int, default=300,
-                   help="Monte-Carlo trials (batched engine scales to "
-                        "millions; default 300)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="root seed; results are deterministic per "
-                        "(seed, --samples) and independent of --chunk-size")
-    p.add_argument("--chunk-size", type=int, default=65536,
-                   help="max trials held in memory at once (default 65536; "
-                        "does not change results)")
-    p.add_argument("--method", default="batched", choices=["batched", "loop"],
-                   help="batched sim engine (default) or the legacy "
-                        "per-trial reference loop")
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=300,
+        help="Monte-Carlo trials (batched engine scales to "
+        "millions; default 300)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed; results are deterministic per "
+        "(seed, --samples) and independent of --chunk-size",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="max trials held in memory at once (default 65536; "
+        "does not change results)",
+    )
+    p.add_argument(
+        "--method",
+        default="batched",
+        choices=["batched", "loop"],
+        help="batched sim engine (default) or the legacy "
+        "per-trial reference loop",
+    )
 
     p = sub.add_parser(
         "memsim",
@@ -174,42 +309,98 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
-    p.add_argument("-M", "--length", type=int, required=True,
-                   help="total code length (doping regions)")
-    p.add_argument("-n", "--valence", type=int, default=2,
-                   help="logic valence (default 2)")
-    p.add_argument("--trace", default="zipfian",
-                   choices=["uniform", "sequential", "zipfian", "bursty"],
-                   help="synthetic trace kind (default zipfian)")
-    p.add_argument("--accesses", type=int, default=100_000,
-                   help="trace length in accesses (default 100000)")
-    p.add_argument("--instances", type=int, default=16,
-                   help="sampled crossbar instances in the fleet (default 16)")
-    p.add_argument("--write-fraction", type=float, default=0.5,
-                   help="fraction of write accesses (default 0.5)")
-    p.add_argument("--address-space", type=int, default=0,
-                   help="logical address space; 0 (default) sizes it from "
-                        "the analytic effective-bits figure, so capacity "
-                        "shortfalls appear as access failures")
-    p.add_argument("--ecc", action="store_true",
-                   help="protect payloads with SECDED; trace addresses "
-                        "become code-block addresses")
-    p.add_argument("--parity-bits", type=int, default=6,
-                   help="SECDED parity bits r; block 2**r (default 6)")
-    p.add_argument("--error-rate", type=float, default=0.0,
-                   help="per-stored-bit flip probability at write time")
-    p.add_argument("--seed", type=int, default=0,
-                   help="root seed for fleet sampling, trace generation and "
-                        "error injection; results are deterministic per seed "
-                        "and independent of --chunk-size and --method")
-    p.add_argument("--chunk-size", type=int, default=65536,
-                   help="max accesses vectorised at once (default 65536; "
-                        "does not change results)")
-    p.add_argument("--method", default="batched", choices=["batched", "loop"],
-                   help="vectorised engine (default) or the scalar "
-                        "per-access reference loop (byte-identical)")
-    p.add_argument("--format", default="table", choices=["table", "json"],
-                   help="output format (default table)")
+    p.add_argument(
+        "-M",
+        "--length",
+        type=int,
+        required=True,
+        help="total code length (doping regions)",
+    )
+    p.add_argument(
+        "-n",
+        "--valence",
+        type=int,
+        default=2,
+        help="logic valence (default 2)",
+    )
+    p.add_argument(
+        "--trace",
+        default="zipfian",
+        choices=["uniform", "sequential", "zipfian", "bursty"],
+        help="synthetic trace kind (default zipfian)",
+    )
+    p.add_argument(
+        "--accesses",
+        type=int,
+        default=100_000,
+        help="trace length in accesses (default 100000)",
+    )
+    p.add_argument(
+        "--instances",
+        type=int,
+        default=16,
+        help="sampled crossbar instances in the fleet (default 16)",
+    )
+    p.add_argument(
+        "--write-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of write accesses (default 0.5)",
+    )
+    p.add_argument(
+        "--address-space",
+        type=int,
+        default=0,
+        help="logical address space; 0 (default) sizes it from "
+        "the analytic effective-bits figure, so capacity "
+        "shortfalls appear as access failures",
+    )
+    p.add_argument(
+        "--ecc",
+        action="store_true",
+        help="protect payloads with SECDED; trace addresses "
+        "become code-block addresses",
+    )
+    p.add_argument(
+        "--parity-bits",
+        type=int,
+        default=6,
+        help="SECDED parity bits r; block 2**r (default 6)",
+    )
+    p.add_argument(
+        "--error-rate",
+        type=float,
+        default=0.0,
+        help="per-stored-bit flip probability at write time",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed for fleet sampling, trace generation and "
+        "error injection; results are deterministic per seed "
+        "and independent of --chunk-size and --method",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="max accesses vectorised at once (default 65536; "
+        "does not change results)",
+    )
+    p.add_argument(
+        "--method",
+        default="batched",
+        choices=["batched", "loop"],
+        help="vectorised engine (default) or the scalar "
+        "per-access reference loop (byte-identical)",
+    )
+    p.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json"],
+        help="output format (default table)",
+    )
 
     sub.add_parser("headline", help="paper-vs-measured headline claims")
     sub.add_parser("theorems", help="run the executable proposition checks")
@@ -226,34 +417,108 @@ def build_parser() -> argparse.ArgumentParser:
             "the k-sigma sensing guard band)."
         ),
     )
-    p.add_argument("--family", "--families", dest="families",
-                   default="TC,GC,BGC",
-                   help="comma-separated code families (default TC,GC,BGC)")
-    p.add_argument("-M", "--length", type=int, default=8,
-                   help="total code length (doping regions, default 8)")
-    p.add_argument("-n", "--valence", type=int, default=2,
-                   help="logic valence (default 2)")
-    p.add_argument("--k-sigma", type=float, default=3.0,
-                   help="margin criterion strictness k (default 3.0)")
-    p.add_argument("--samples", type=int, default=0,
-                   help="margin-yield Monte-Carlo trials per family "
-                        "(default 0 = analytic margins only)")
-    p.add_argument("--seed", type=int, default=0,
-                   help="root seed of the Monte-Carlo; results are "
-                        "deterministic per (seed, --samples) and "
-                        "independent of --chunk-size and --method")
-    p.add_argument("--chunk-size", type=int, default=65536,
-                   help="max trials held in memory at once (default "
-                        "65536; does not change results)")
-    p.add_argument("--method", default="batched", choices=["batched", "loop"],
-                   help="vectorized margin engine (default) or the "
-                        "scalar pairwise reference loop (byte-identical)")
-    p.add_argument("--format", default="table", choices=["table", "json"],
-                   help="output format (default table)")
+    p.add_argument(
+        "--family",
+        "--families",
+        dest="families",
+        default="TC,GC,BGC",
+        help="comma-separated code families (default TC,GC,BGC)",
+    )
+    p.add_argument(
+        "-M",
+        "--length",
+        type=int,
+        default=8,
+        help="total code length (doping regions, default 8)",
+    )
+    p.add_argument(
+        "-n",
+        "--valence",
+        type=int,
+        default=2,
+        help="logic valence (default 2)",
+    )
+    p.add_argument(
+        "--k-sigma",
+        type=float,
+        default=3.0,
+        help="margin criterion strictness k (default 3.0)",
+    )
+    p.add_argument(
+        "--samples",
+        type=int,
+        default=0,
+        help="margin-yield Monte-Carlo trials per family "
+        "(default 0 = analytic margins only)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="root seed of the Monte-Carlo; results are "
+        "deterministic per (seed, --samples) and "
+        "independent of --chunk-size and --method",
+    )
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="max trials held in memory at once (default "
+        "65536; does not change results)",
+    )
+    p.add_argument(
+        "--method",
+        default="batched",
+        choices=["batched", "loop"],
+        help="vectorized margin engine (default) or the "
+        "scalar pairwise reference loop (byte-identical)",
+    )
+    p.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "json"],
+        help="output format (default table)",
+    )
 
-    p = sub.add_parser("readout", help="sneak-path margins vs bank size")
-    p.add_argument("--scheme", default="float",
-                   choices=["float", "ground", "half_v"])
+    p = sub.add_parser(
+        "readout",
+        help="sneak-path margins vs bank size",
+        description=(
+            "Worst-case sense margins of square banks on the batched "
+            "readout engine; --scheme all shares each bank size's "
+            "stamped Laplacians across all three biasing schemes."
+        ),
+    )
+    p.add_argument(
+        "--scheme",
+        default="float",
+        choices=["float", "ground", "half_v", "all"],
+    )
+    p.add_argument(
+        "--sizes",
+        default="4,8,16,20,32,64",
+        help="comma-separated square bank sizes "
+        "(default 4,8,16,20,32,64)",
+    )
+    p.add_argument(
+        "--r-on",
+        type=float,
+        default=1.0e5,
+        help="crosspoint ON resistance [ohm] (default 1e5)",
+    )
+    p.add_argument(
+        "--r-off",
+        type=float,
+        default=1.0e7,
+        help="crosspoint OFF resistance [ohm] (default 1e7)",
+    )
+    p.add_argument(
+        "--method",
+        default="batched",
+        choices=["batched", "loop"],
+        help="vectorized readout engine (default) or the "
+        "scalar per-cell reference loop (byte-identical)",
+    )
 
     sub.add_parser("calibrate", help="score the calibration grid")
     return parser
@@ -287,9 +552,7 @@ def _cmd_info(spec: CrossbarSpec) -> str:
 
 def _cmd_fig5() -> tuple[str, dict]:
     data = fig5_fabrication_complexity()
-    rows = [
-        [logic, row["TC"], row["GC"]] for logic, row in data.items()
-    ]
+    rows = [[logic, row["TC"], row["GC"]] for logic, row in data.items()]
     return render_table(["logic", "TC", "GC"], rows), data
 
 
@@ -324,9 +587,7 @@ def _cmd_fig8(spec: CrossbarSpec) -> tuple[str, dict]:
 
 
 def _cmd_evaluate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
-    design = DecoderDesign.build(
-        args.family, args.length, n=args.valence, spec=spec
-    )
+    design = DecoderDesign.build(args.family, args.length, n=args.valence, spec=spec)
     s = design.summary()
     rows = [[k, v] for k, v in s.items()]
     return render_table(["figure", "value"], rows, 4)
@@ -352,9 +613,7 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     for item in args.axis:
         name, _, values = item.partition("=")
         if not values:
-            raise SystemExit(
-                f"--axis expects NAME=V1,V2,..., got {item!r}"
-            )
+            raise SystemExit(f"--axis expects NAME=V1,V2,..., got {item!r}")
         try:
             axes[name.strip()] = _parse_axis_values(values)
         except ValueError:
@@ -387,6 +646,9 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             wl_ecc=args.wl_ecc,
             wl_error_rate=args.wl_error_rate,
             wl_seed=args.seed,
+            ro_r_on=args.ro_r_on,
+            ro_r_off=args.ro_r_off,
+            ro_min_margin=args.ro_min_margin,
         ),
     )
     if args.format == "csv":
@@ -571,8 +833,10 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     for family in families:
         code = make_code(family, args.valence, args.length)
         report = margin_report(
-            code, spec.nanowires_per_half_cave,
-            sigma_t=spec.sigma_t, k_sigma=args.k_sigma,
+            code,
+            spec.nanowires_per_half_cave,
+            sigma_t=spec.sigma_t,
+            k_sigma=args.k_sigma,
             method=args.method,
         )
         entry = {
@@ -582,14 +846,17 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             "worst_margin_v": report.worst_margin_v,
             "passes": report.passes,
             "margin_yield": margin_yield(
-                code, spec.nanowires_per_half_cave,
-                sigma_t=spec.sigma_t, k_sigma=args.k_sigma,
+                code,
+                spec.nanowires_per_half_cave,
+                sigma_t=spec.sigma_t,
+                k_sigma=args.k_sigma,
                 method=args.method,
             ),
         }
         if args.samples > 0:
             mc = simulate_margin_yield(
-                spec, code,
+                spec,
+                code,
                 samples=args.samples,
                 seed=args.seed,
                 k_sigma=args.k_sigma,
@@ -637,14 +904,37 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
 
 
 def _cmd_readout(args: argparse.Namespace) -> str:
-    from repro.crossbar.readout import ReadoutModel, margin_vs_bank_size
+    from repro.crossbar.readout import SCHEMES, ReadoutModel
+    from repro.sim.readout import scheme_margin_sweep
 
-    model = ReadoutModel(scheme=args.scheme)
+    try:
+        sizes = tuple(int(s) for s in args.sizes.split(",") if s.strip())
+    except ValueError:
+        raise SystemExit(f"--sizes has a malformed value list: {args.sizes!r}")
+    if not sizes:
+        raise SystemExit("--sizes expects at least one bank size")
+    if min(sizes) < 1:
+        raise SystemExit(f"--sizes expects positive bank sizes, got {args.sizes!r}")
+    schemes = SCHEMES if args.scheme == "all" else (args.scheme,)
+    if args.method == "batched":
+        # one engine sweep: each bank size's stamped Laplacians are
+        # shared across every requested scheme
+        sweep = scheme_margin_sweep(
+            sizes, r_on=args.r_on, r_off=args.r_off, schemes=schemes
+        )
+    else:
+        sweep = {
+            s: ReadoutModel(
+                r_on=args.r_on, r_off=args.r_off, scheme=s, method="loop"
+            ).sense_margins(sizes)
+            for s in schemes
+        }
     rows = [
-        [size, f"{100 * margin:.1f}%"]
-        for size, margin in margin_vs_bank_size(model, (4, 8, 16, 20, 32, 64))
+        [size] + [f"{100 * sweep[s][k]:.1f}%" for s in schemes]
+        for k, size in enumerate(sizes)
     ]
-    return render_table(["bank size", "worst-case margin"], rows)
+    header = list(schemes) if args.scheme == "all" else ["worst-case margin"]
+    return render_table(["bank size", *header], rows)
 
 
 def _cmd_calibrate() -> str:

@@ -122,9 +122,7 @@ def minimise_sigma_arrangement(
 
     def remaining_bound(position: int) -> int:
         """Admissible bound: remaining steps at least d_min each."""
-        return d_min * sum(
-            k + 1 for k in range(position, size - 1)
-        )
+        return d_min * sum(k + 1 for k in range(position, size - 1))
 
     def extend(position: int, cost_so_far: int) -> None:
         nonlocal best_cost, best_order, nodes
@@ -155,9 +153,7 @@ def minimise_sigma_arrangement(
             used[cand] = False
 
     extend(0, size * total_digits)
-    return OptimalArrangement(
-        tuple(best_order), best_cost, nodes, "variability"
-    )
+    return OptimalArrangement(tuple(best_order), best_cost, nodes, "variability")
 
 
 def minimise_phi_arrangement(

@@ -81,7 +81,9 @@ make_code.cache_info = _build_code.cache_info  # type: ignore[attr-defined]
 make_code.cache_clear = _build_code.cache_clear  # type: ignore[attr-defined]
 
 
-def family_lengths(family: str, lengths: tuple[int, ...] | None = None) -> tuple[int, ...]:
+def family_lengths(
+    family: str, lengths: tuple[int, ...] | None = None
+) -> tuple[int, ...]:
     """Default paper sweep lengths for a family (Fig. 7 / Fig. 8 x-axes)."""
     key = family.strip().upper()
     if lengths is not None:

@@ -122,6 +122,4 @@ def optimize_design(
     jobs: int = 1,
 ) -> DecoderDesign:
     """Best design point for ``objective`` (convenience wrapper)."""
-    return explore_designs(
-        objective, families, lengths, n, spec, jobs=jobs
-    ).best.design
+    return explore_designs(objective, families, lengths, n, spec, jobs=jobs).best.design

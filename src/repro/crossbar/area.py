@@ -44,9 +44,7 @@ def effective_bit_area(spec: CrossbarSpec, space: CodeSpace) -> AreaReport:
     )
     report: YieldReport = crossbar_yield(spec, space)
     if report.effective_bits <= 0:
-        raise ValueError(
-            f"design point {space.name} yields no working crosspoints"
-        )
+        raise ValueError(f"design point {space.name} yields no working crosspoints")
     return AreaReport(
         code_name=space.name,
         code_length=space.total_length,

@@ -135,6 +135,88 @@ class CrossbarArray:
         i_if_off = self.readout.read_current(ref, r_local, c_local)
         return abs(current - i_if_on) < abs(current - i_if_off)
 
+    def _bank_groups(self, rows: np.ndarray, cols: np.ndarray):
+        """Cells grouped by their (row-bank, col-bank) pair.
+
+        Yields ``(bank view bounds, local cells, original indices)`` so
+        every bank's shared-state solves can run as one factorized
+        batch through the readout engine.
+        """
+        per_cave = self.address_map.wires_per_cave
+        keys = (rows // per_cave) * (1 + self.shape[1] // per_cave) + (cols // per_cave)
+        order = np.argsort(keys, kind="stable")
+        for key in np.unique(keys):
+            idx = order[keys[order] == key]
+            r0, _ = self._bank_bounds(int(rows[idx[0]]))
+            c0, _ = self._bank_bounds(int(cols[idx[0]]))
+            local = np.stack([rows[idx] - r0, cols[idx] - c0], axis=1)
+            yield (r0, c0), local, idx
+
+    def _reference_currents(
+        self, rows: np.ndarray, cols: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(I_measured, I_if_on, I_if_off) for a batch of crosspoints.
+
+        The measured currents — and the reference whose forced state
+        matches the cell's actual state — come from *one* factorized
+        block-RHS solve per bank (the bank Laplacian depends only on
+        the state map, not on the selected cell); only the opposite
+        reference needs a per-cell modified bank.
+        """
+        currents = np.empty(rows.size)
+        i_on = np.empty(rows.size)
+        i_off = np.empty(rows.size)
+        for (r0, c0), local, idx in self._bank_groups(rows, cols):
+            per = self.address_map.wires_per_cave
+            bank = self._states[r0 : r0 + per, c0 : c0 + per]
+            measured = self.readout.read_currents(bank, local)
+            currents[idx] = measured
+            for pos, t in enumerate(idx):
+                lr, lc = int(local[pos, 0]), int(local[pos, 1])
+                flipped = bank.copy()
+                flipped[lr, lc] = not bank[lr, lc]
+                other = self.readout.read_current(flipped, lr, lc)
+                if bank[lr, lc]:
+                    i_on[t], i_off[t] = measured[pos], other
+                else:
+                    i_on[t], i_off[t] = other, measured[pos]
+        return currents, i_on, i_off
+
+    def read_bits(self, rows, cols) -> np.ndarray:
+        """Sense many crosspoints; dual-reference decisions, batched.
+
+        Cells are grouped by cave-sized bank; each bank's measured
+        currents (and the matching-state references) share one
+        factorized solve.  Raises :class:`AddressingFault` on the first
+        inaccessible crosspoint, like :meth:`read_bit`.
+        """
+        rows = np.asarray(rows, dtype=int).ravel()
+        cols = np.asarray(cols, dtype=int).ravel()
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have matching shapes")
+        for r, c in zip(rows, cols):
+            self._check_access(int(r), int(c))
+        currents, i_on, i_off = self._reference_currents(rows, cols)
+        return np.abs(currents - i_on) < np.abs(currents - i_off)
+
+    def read_margins(self, rows, cols) -> np.ndarray:
+        """Relative sensing margins of many crosspoints, batched.
+
+        Same quantity as :meth:`read_margin`, with the matching-state
+        reference of every cell taken from one shared block-RHS solve
+        per bank.
+        """
+        rows = np.asarray(rows, dtype=int).ravel()
+        cols = np.asarray(cols, dtype=int).ravel()
+        if rows.shape != cols.shape:
+            raise ValueError("rows and cols must have matching shapes")
+        for r, c in zip(rows, cols):
+            self._check_access(int(r), int(c))
+        _, i_on, i_off = self._reference_currents(rows, cols)
+        if np.any(i_on <= 0):
+            raise AddressingFault("non-positive reference current")
+        return (i_on - i_off) / i_on
+
     def read_margin(self, row: int, col: int) -> float:
         """Relative sensing margin of a crosspoint in its current bank.
 
@@ -155,7 +237,9 @@ class CrossbarArray:
             raise AddressingFault("non-positive reference current")
         return (i_on - i_off) / i_on
 
-    def write_pattern(self, rows: np.ndarray, cols: np.ndarray, bits: np.ndarray) -> int:
+    def write_pattern(
+        self, rows: np.ndarray, cols: np.ndarray, bits: np.ndarray
+    ) -> int:
         """Program many crosspoints; returns how many were accessible.
 
         Inaccessible crosspoints are skipped (a real memory controller
@@ -167,12 +251,16 @@ class CrossbarArray:
         bits = np.asarray(bits, dtype=bool)
         if not rows.shape == cols.shape == bits.shape:
             raise ValueError("rows, cols and bits must have matching shapes")
-        written = 0
-        for r, c, b in zip(rows.ravel(), cols.ravel(), bits.ravel()):
-            if self.is_accessible(int(r), int(c)):
-                self._states[int(r), int(c)] = bool(b)
-                written += 1
-        return written
+        rows = rows.ravel().astype(int)
+        cols = cols.ravel().astype(int)
+        bits = bits.ravel()
+        n_rows, n_cols = self.shape
+        ok = (rows >= 0) & (rows < n_rows) & (cols >= 0) & (cols < n_cols)
+        ok[ok] &= self.defects.row_ok[rows[ok]] & self.defects.col_ok[cols[ok]]
+        # duplicate crosspoints resolve last-write-wins, as in the
+        # sequential loop this replaces
+        self._states[rows[ok], cols[ok]] = bits[ok]
+        return int(ok.sum())
 
     # -- reporting ---------------------------------------------------------------
 

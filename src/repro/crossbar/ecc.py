@@ -67,9 +67,7 @@ class SecdedCode:
         """Encode ``data_bits`` payload bits into a ``block_bits`` block."""
         data = np.asarray(data, dtype=bool)
         if data.shape != (self.data_bits,):
-            raise EccError(
-                f"payload must have {self.data_bits} bits, got {data.shape}"
-            )
+            raise EccError(f"payload must have {self.data_bits} bits, got {data.shape}")
         block = np.zeros(self.block_bits, dtype=bool)
         block[self._data_positions()] = data
         for p in range(self.parity_bits):
@@ -89,9 +87,7 @@ class SecdedCode:
         """
         block = np.asarray(block, dtype=bool).copy()
         if block.shape != (self.block_bits,):
-            raise EccError(
-                f"block must have {self.block_bits} bits, got {block.shape}"
-            )
+            raise EccError(f"block must have {self.block_bits} bits, got {block.shape}")
         syndrome = 0
         for p in range(self.parity_bits):
             mask = (np.arange(self.block_bits) >> p) & 1 == 1

@@ -19,6 +19,16 @@ its row and column) under three classic biasing schemes:
 The sense margin compares the read current of a selected ON cell in the
 worst-case background (all other cells ON) against a selected OFF cell
 in the same background.
+
+Two solver paths are exposed through the ``method`` field:
+
+* ``"batched"`` (default) — the :mod:`repro.sim.readout` engine:
+  vectorized Laplacian stamping, and factorized block-RHS solves for
+  multi-cell reads (:meth:`ReadoutModel.read_currents`).  Single-cell
+  reads are byte-identical to the scalar path; block-RHS reads agree
+  within solver tolerance.
+* ``"loop"`` — the original per-cell Python stamping loop, kept as the
+  byte-compared equivalence reference.
 """
 
 from __future__ import annotations
@@ -28,6 +38,8 @@ from dataclasses import dataclass
 import numpy as np
 
 SCHEMES = ("float", "ground", "half_v")
+
+METHODS = ("batched", "loop")
 
 
 class ReadoutError(ValueError):
@@ -46,12 +58,16 @@ class ReadoutModel:
         Read voltage applied to the selected row [V].
     scheme:
         Biasing of unselected lines (see module docstring).
+    method:
+        ``"batched"`` (vectorized engine, default) or ``"loop"`` (the
+        scalar per-cell reference).
     """
 
     r_on: float = 1.0e5
     r_off: float = 1.0e7
     v_read: float = 0.5
     scheme: str = "float"
+    method: str = "batched"
 
     def __post_init__(self) -> None:
         if self.r_on <= 0 or self.r_off <= 0:
@@ -63,6 +79,10 @@ class ReadoutModel:
         if self.scheme not in SCHEMES:
             raise ReadoutError(
                 f"unknown scheme {self.scheme!r}; expected one of {SCHEMES}"
+            )
+        if self.method not in METHODS:
+            raise ReadoutError(
+                f"unknown method {self.method!r}; expected one of {METHODS}"
             )
 
     # -- network solution -----------------------------------------------------
@@ -86,7 +106,15 @@ class ReadoutModel:
         rows, cols = g.shape
         if not 0 <= row < rows or not 0 <= col < cols:
             raise ReadoutError(f"selected cell ({row}, {col}) outside {g.shape}")
+        if self.method == "loop":
+            return self._read_current_loop(g, row, col)
+        from repro.sim.readout import IdealBank
 
+        return IdealBank(g).read_current(self.scheme, self.v_read, row, col)
+
+    def _read_current_loop(self, g: np.ndarray, row: int, col: int) -> float:
+        """Scalar per-cell reference: nested stamping loop, one solve."""
+        rows, cols = g.shape
         n_nodes = rows + cols
 
         def col_node(j: int) -> int:
@@ -124,9 +152,7 @@ class ReadoutModel:
             voltages[k] = v
         if free:
             a = lap[np.ix_(free, free)]
-            rhs = -lap[np.ix_(free, list(fixed))] @ np.array(
-                [fixed[k] for k in fixed]
-            )
+            rhs = -lap[np.ix_(free, list(fixed))] @ np.array([fixed[k] for k in fixed])
             voltages[np.array(free)] = np.linalg.solve(a, rhs)
 
         # current into the sense (virtual-ground) column node
@@ -135,6 +161,32 @@ class ReadoutModel:
         for i in range(rows):
             current += g[i, col] * (voltages[i] - voltages[sense])
         return float(current)
+
+    def read_currents(self, states: np.ndarray, cells) -> np.ndarray:
+        """Sense currents of many cells of one bank state.
+
+        ``cells`` is a ``(k, 2)`` array-like of ``(row, col)`` pairs.
+        Under ``method="batched"`` the bank's Laplacian is stamped and
+        factorized once and all cells are solved as one block RHS (the
+        Laplacian depends only on the state map, not on the selected
+        cell); ``method="loop"`` falls back to one scalar solve per
+        cell, as the equivalence reference.
+        """
+        if self.method == "loop":
+            from repro.sim.readout import _as_cells
+
+            g = self.conductances(states)
+            rows, cols = _as_cells(cells, *g.shape)
+            return np.array(
+                [
+                    self.read_current(states, int(r), int(c))
+                    for r, c in zip(rows, cols)
+                ]
+            )
+        from repro.sim.readout import IdealBank
+
+        bank = IdealBank(self.conductances(states))
+        return bank.read_currents(self.scheme, self.v_read, cells)
 
     # -- margins -----------------------------------------------------------------
 
@@ -160,6 +212,27 @@ class ReadoutModel:
             raise ReadoutError("non-positive ON current; check the model")
         return (i_on - i_off) / i_on
 
+    def sense_margins(self, sizes) -> list[float]:
+        """Worst-case margins of square banks, one per size.
+
+        Under ``method="batched"`` the per-size worst-case backgrounds
+        are stamped once and shared through the engine's bank sweep;
+        the ``loop`` method evaluates each size with the scalar
+        reference.  Both return identical values.
+        """
+        if self.method == "loop":
+            return [self.sense_margin(size, size) for size in sizes]
+        from repro.sim.readout import scheme_margin_sweep
+
+        sweep = scheme_margin_sweep(
+            tuple(sizes),
+            r_on=self.r_on,
+            r_off=self.r_off,
+            v_read=self.v_read,
+            schemes=(self.scheme,),
+        )
+        return sweep[self.scheme]
+
 
 def margin_vs_bank_size(
     model: ReadoutModel,
@@ -171,7 +244,7 @@ def margin_vs_bank_size(
     quantitative argument for segmenting the crossbar into cave-sized
     banks with their own contact groups.
     """
-    return [(s, model.sense_margin(s, s)) for s in sizes]
+    return list(zip(sizes, model.sense_margins(sizes)))
 
 
 def max_bank_size(

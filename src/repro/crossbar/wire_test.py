@@ -105,7 +105,5 @@ def expected_pass_fraction(
     """
     decoder = decoder_for(spec, space)
     rng = np.random.default_rng(seed)
-    fractions = [
-        probe_half_cave(decoder, rng).pass_fraction for _ in range(samples)
-    ]
+    fractions = [probe_half_cave(decoder, rng).pass_fraction for _ in range(samples)]
     return float(np.mean(fractions))

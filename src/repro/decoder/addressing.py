@@ -31,9 +31,7 @@ def conducting_wires(patterns: np.ndarray, address: np.ndarray) -> np.ndarray:
     p = np.asarray(patterns)
     a = np.asarray(address)
     if p.ndim != 2 or a.ndim != 1 or p.shape[1] != a.shape[0]:
-        raise ValueError(
-            f"shape mismatch: patterns {p.shape} vs address {a.shape}"
-        )
+        raise ValueError(f"shape mismatch: patterns {p.shape} vs address {a.shape}")
     return np.flatnonzero((p <= a[None, :]).all(axis=1))
 
 

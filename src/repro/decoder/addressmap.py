@@ -109,9 +109,7 @@ class AddressMap:
     def address_of(self, wire: int) -> WireAddress:
         """Deterministic address of a layer-wide wire index."""
         if not 0 <= wire < self.wire_count:
-            raise AddressError(
-                f"wire {wire} outside layer of {self.wire_count} wires"
-            )
+            raise AddressError(f"wire {wire} outside layer of {self.wire_count} wires")
         cave, within = divmod(wire, self.wires_per_cave)
         side, half_index = self._half_index(within)
         return WireAddress(

@@ -73,9 +73,7 @@ class FullCaveDecoder:
         """Check the mirror-symmetry property of the doping flow."""
         p = self.mirrored_patterns()
         n = p.shape[0]
-        return all(
-            (p[i] == p[n - 1 - i]).all() for i in range(n // 2)
-        )
+        return all((p[i] == p[n - 1 - i]).all() for i in range(n // 2))
 
     def uniquely_addressable_with_groups(self) -> bool:
         """Sec. 3.3's claim, executable.

@@ -62,9 +62,7 @@ def _doping_plan_cached(
 ) -> DopingPlan:
     scheme = LevelScheme(space.n, vt_min=vt_min, vt_max=vt_max)
     digit_map = default_digit_map(space.n, scheme)
-    plan = DopingPlan.from_pattern(
-        _patterns_cached(space, nanowires), digit_map
-    )
+    plan = DopingPlan.from_pattern(_patterns_cached(space, nanowires), digit_map)
     _frozen(plan.pattern), _frozen(plan.final), _frozen(plan.steps)
     return plan
 

@@ -42,19 +42,28 @@ def group_local_indices(nanowires: int, group_size: int) -> np.ndarray:
     return np.arange(nanowires) % group_size
 
 
-def pattern_uniqueness_within_groups(
-    patterns: np.ndarray, group_size: int
-) -> bool:
+def pattern_uniqueness_within_groups(patterns: np.ndarray, group_size: int) -> bool:
     """True if no two nanowires of one contact group share a pattern.
 
     Unique addressing only needs uniqueness *within* a contact group —
     the lithographic contact selects the group, the pattern selects the
     wire inside it.
+
+    One O(N log N) array pass (cf. ``sim.engine._unique_fraction_rows``):
+    rows collapse to scalar ids with a single sort-based
+    ``np.unique(axis=0)``, and a lexicographic sort by (group, id)
+    turns any within-group duplicate into adjacent equal ids.
     """
+    if group_size < 1:
+        raise ValueError(f"group size must be >= 1, got {group_size}")
+    patterns = np.asarray(patterns)
     n_wires = patterns.shape[0]
-    for start in range(0, n_wires, group_size):
-        block = patterns[start : start + group_size]
-        rows = {tuple(int(d) for d in row) for row in block}
-        if len(rows) != block.shape[0]:
-            return False
-    return True
+    if n_wires == 0:
+        return True
+    _, ids = np.unique(patterns, axis=0, return_inverse=True)
+    ids = ids.reshape(-1)
+    groups = np.arange(n_wires) // group_size
+    order = np.lexsort((ids, groups))
+    sorted_ids = ids[order]
+    same_group = groups[order][1:] == groups[order][:-1]
+    return not bool(np.any(same_group & (sorted_ids[1:] == sorted_ids[:-1])))

@@ -79,9 +79,7 @@ def _validate_trial_budget(samples: int, max_trials_per_chunk: int) -> None:
     if samples < 1:
         raise StochasticError(f"need at least one sample, got {samples}")
     if max_trials_per_chunk < 1:
-        raise StochasticError(
-            f"chunk size must be >= 1, got {max_trials_per_chunk}"
-        )
+        raise StochasticError(f"chunk size must be >= 1, got {max_trials_per_chunk}")
 
 
 def simulate_random_codes(
@@ -113,9 +111,7 @@ def simulate_random_codes(
         )
         return float(engine.run(samples, rng)["unique_fraction"].mean)
     if method != "loop":
-        raise StochasticError(
-            f"unknown method {method!r}; use 'batched' or 'loop'"
-        )
+        raise StochasticError(f"unknown method {method!r}; use 'batched' or 'loop'")
     total = 0.0
     for _ in range(samples):
         codes = rng.integers(0, code_space, size=group_size)
@@ -192,9 +188,7 @@ def simulate_random_contacts(
         )
         return float(engine.run(samples, rng)["unique_fraction"].mean)
     if method != "loop":
-        raise StochasticError(
-            f"unknown method {method!r}; use 'batched' or 'loop'"
-        )
+        raise StochasticError(f"unknown method {method!r}; use 'batched' or 'loop'")
     total = 0.0
     for _ in range(samples):
         sig = rng.random((group_size, mesowires)) < connection_probability

@@ -39,9 +39,7 @@ def dose_count_matrix(steps: np.ndarray, rtol: float = DOSE_RTOL) -> np.ndarray:
     return np.cumsum(mask[::-1], axis=0)[::-1]
 
 
-def variability_matrix(
-    nu: np.ndarray, sigma_t: float = DEFAULT_SIGMA_T
-) -> np.ndarray:
+def variability_matrix(nu: np.ndarray, sigma_t: float = DEFAULT_SIGMA_T) -> np.ndarray:
     """Sigma = sigma_T^2 * nu: per-region VT variance [V^2]."""
     if sigma_t <= 0:
         raise ValueError(f"sigma_T must be positive, got {sigma_t}")

@@ -123,7 +123,9 @@ class DigitDopingMap:
         if len(self.vt_levels) < 2:
             raise PhysicsError("need at least two VT levels")
         if any(b <= a for a, b in zip(self.vt_levels, self.vt_levels[1:])):
-            raise PhysicsError(f"VT levels must be strictly increasing: {self.vt_levels}")
+            raise PhysicsError(
+                f"VT levels must be strictly increasing: {self.vt_levels}"
+            )
 
     @property
     def n(self) -> int:
@@ -190,9 +192,7 @@ def fit_gate_stack_to_paper_example(
 
     def body_terms(doping: float) -> tuple[float, float]:
         phi_f = model.fermi_potential(doping)
-        charge = math.sqrt(
-            2.0 * EPS_SILICON * ELEMENTARY_CHARGE * doping * 2.0 * phi_f
-        )
+        charge = math.sqrt(2.0 * EPS_SILICON * ELEMENTARY_CHARGE * doping * 2.0 * phi_f)
         return 2.0 * phi_f, charge
 
     phi_lo, q_lo = body_terms(doping_low)

@@ -62,9 +62,7 @@ class LevelScheme:
     @property
     def levels(self) -> tuple[float, ...]:
         """Nominal VT of each digit, centred in its sub-band [V]."""
-        return tuple(
-            self.vt_min + (v + 0.5) * self.spacing for v in range(self.n)
-        )
+        return tuple(self.vt_min + (v + 0.5) * self.spacing for v in range(self.n))
 
     @property
     def window_halfwidth(self) -> float:

@@ -73,9 +73,7 @@ def cached_spec(
             f"{sorted((*_RULE_FIELDS, *_SPEC_FIELDS))}"
         )
     rule_changes = {k: v for k, v in overrides if k in _RULE_FIELDS}
-    spec_changes = {
-        _SPEC_FIELDS[k]: v for k, v in overrides if k in _SPEC_FIELDS
-    }
+    spec_changes = {_SPEC_FIELDS[k]: v for k, v in overrides if k in _SPEC_FIELDS}
     if rule_changes:
         spec_changes["rules"] = replace(base.rules, **rule_changes)
     return replace(base, **spec_changes)

@@ -104,9 +104,7 @@ def design_grid(
     maps spec-override names to value sequences, e.g.
     ``{"sigma_t": (0.03, 0.05)}``.
     """
-    unknown = sorted(
-        {f.strip().upper() for f in families} - set(ALL_FAMILIES)
-    )
+    unknown = sorted({f.strip().upper() for f in families} - set(ALL_FAMILIES))
     if unknown:
         raise CodeError(
             f"unknown code family(ies) {unknown}; expected a subset of "
@@ -114,9 +112,7 @@ def design_grid(
         )
     combos: list[dict[str, float]] = [{}]
     for name, values in (axes or {}).items():
-        combos = [
-            {**combo, name: value} for combo in combos for value in values
-        ]
+        combos = [{**combo, name: value} for combo in combos for value in values]
     points: list[DesignPoint] = []
     for family in families:
         for length in lengths:

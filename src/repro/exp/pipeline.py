@@ -20,6 +20,7 @@ therefore the serialised bytes — is identical for any ``jobs``.
 
 from __future__ import annotations
 
+import functools
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
@@ -41,7 +42,9 @@ class SweepParams:
     memory-fleet evaluation); ``wl_address_space=0`` sizes the logical
     address space from the analytic effective-bits figure of each
     point, so capacity shortfalls against the analytic promise show up
-    as access failures.
+    as access failures.  The ``ro_*`` knobs set the crosspoint
+    technology and margin floor of the ``readout`` metric (sneak-path
+    sense margins of the cave-sized bank).
     """
 
     mc_samples: int = 256
@@ -56,6 +59,11 @@ class SweepParams:
     wl_ecc: bool = False
     wl_error_rate: float = 0.0
     wl_address_space: int = 0
+    ro_r_on: float = 1.0e5
+    ro_r_off: float = 1.0e7
+    ro_v_read: float = 0.5
+    ro_min_margin: float = 0.5
+    ro_bank_limit: int = 256
 
 
 #: Evaluator signature: (spec, code, params) -> metric columns.
@@ -120,12 +128,18 @@ def _eval_margins(
 
     decoder = decoder_for(spec, space)
     select = select_margins_batched(
-        decoder.patterns, decoder.nu, decoder.scheme,
-        spec.sigma_t, params.k_sigma,
+        decoder.patterns,
+        decoder.nu,
+        decoder.scheme,
+        spec.sigma_t,
+        params.k_sigma,
     )
     block = block_margins_batched(
-        decoder.patterns, decoder.nu, decoder.scheme,
-        spec.sigma_t, params.k_sigma,
+        decoder.patterns,
+        decoder.nu,
+        decoder.scheme,
+        spec.sigma_t,
+        params.k_sigma,
     )
     select_v = float(select.min())
     block_v = float(block.min())
@@ -238,6 +252,72 @@ def _eval_workload(
     }
 
 
+@functools.lru_cache(maxsize=None)
+def _bank_margins(
+    bank: int, r_on: float, r_off: float, v_read: float
+) -> tuple[float, float, float]:
+    """(float, ground, half_v) margins of one bank size, memoized.
+
+    Readout margins depend only on the bank size and the ``ro_*``
+    technology params — never on the code choice — so a sweep stamps
+    each distinct bank once instead of once per design point.
+    """
+    from repro.sim.readout import scheme_margin_sweep
+
+    sweep = scheme_margin_sweep((bank,), r_on=r_on, r_off=r_off, v_read=v_read)
+    return (sweep["float"][0], sweep["ground"][0], sweep["half_v"][0])
+
+
+@functools.lru_cache(maxsize=None)
+def _max_float_bank(
+    r_on: float, r_off: float, v_read: float, min_margin: float, limit: int
+) -> int:
+    """Largest float-scheme bank above the margin floor, memoized.
+
+    The figure depends only on the readout params — never on the design
+    point — so a sweep computes the doubling search once per params set
+    instead of once per row.
+    """
+    from repro.crossbar.readout import ReadoutModel, max_bank_size
+
+    model = ReadoutModel(r_on=r_on, r_off=r_off, v_read=v_read, scheme="float")
+    return max_bank_size(model, min_margin, limit=limit)
+
+
+def _eval_readout(
+    spec: CrossbarSpec, space: CodeSpace, params: SweepParams
+) -> Mapping[str, object]:
+    """Sneak-path sense margins of the cave-sized bank (readout engine).
+
+    The bank is the cave-sized sub-array electrical reads resolve
+    against (two mirrored half caves), so the bank size sweeps with the
+    ``nanowires`` axis while ``ro_r_on`` / ``ro_r_off`` set the
+    crosspoint technology — the grid the paper's "functions as a
+    memory" assumption (Sec. 6.1) has to hold over.  Margins of all
+    three biasing schemes come from one engine sweep that stamps each
+    worst-case background once and shares it across schemes, memoized
+    per distinct (bank, technology) pair.
+    """
+    bank = 2 * spec.nanowires_per_half_cave
+    margin_float, margin_ground, margin_half_v = _bank_margins(
+        bank, params.ro_r_on, params.ro_r_off, params.ro_v_read
+    )
+    return {
+        "ro_bank_wires": bank,
+        "ro_margin_float": margin_float,
+        "ro_margin_ground": margin_ground,
+        "ro_margin_half_v": margin_half_v,
+        "ro_max_float_bank": _max_float_bank(
+            params.ro_r_on,
+            params.ro_r_off,
+            params.ro_v_read,
+            params.ro_min_margin,
+            params.ro_bank_limit,
+        ),
+        "ro_bank_ok": bool(margin_float >= params.ro_min_margin),
+    }
+
+
 EVALUATORS: dict[str, Evaluator] = {
     "yield": _eval_yield,
     "area": _eval_area,
@@ -245,6 +325,7 @@ EVALUATORS: dict[str, Evaluator] = {
     "margins": _eval_margins,
     "marginmc": _eval_marginmc,
     "montecarlo": _eval_montecarlo,
+    "readout": _eval_readout,
     "workload": _eval_workload,
 }
 
@@ -291,9 +372,7 @@ def _evaluate_chunk(
     return [evaluate_point(p, spec, metrics, params) for p in points]
 
 
-def _chunked(
-    points: Sequence[DesignPoint], size: int
-) -> list[Sequence[DesignPoint]]:
+def _chunked(points: Sequence[DesignPoint], size: int) -> list[Sequence[DesignPoint]]:
     return [points[i : i + size] for i in range(0, len(points), size)]
 
 

@@ -56,9 +56,7 @@ class SweepResult:
             raise ValueError("a sweep result needs at least one column")
         sizes = {v.shape for v in cols.values()}
         if any(v.ndim != 1 for v in cols.values()) or len(sizes) != 1:
-            raise ValueError(
-                f"columns must be 1-D and equally sized, got {sizes}"
-            )
+            raise ValueError(f"columns must be 1-D and equally sized, got {sizes}")
         self._columns = cols
 
     # -- construction --------------------------------------------------------
@@ -72,9 +70,7 @@ class SweepResult:
         for r in records:
             if list(r.keys()) != fields:
                 raise ValueError("records have inconsistent fields")
-        return cls(
-            {f: _column_array([r[f] for r in records]) for f in fields}
-        )
+        return cls({f: _column_array([r[f] for r in records]) for f in fields})
 
     @classmethod
     def concat(cls, parts: Sequence["SweepResult"]) -> "SweepResult":
@@ -85,12 +81,7 @@ class SweepResult:
         for p in parts:
             if p.fields != fields:
                 raise ValueError("sweep results have inconsistent fields")
-        return cls(
-            {
-                f: np.concatenate([p.column(f) for p in parts])
-                for f in fields
-            }
-        )
+        return cls({f: np.concatenate([p.column(f) for p in parts]) for f in fields})
 
     # -- introspection -------------------------------------------------------
 
@@ -126,9 +117,7 @@ class SweepResult:
     def to_records(self) -> list[Record]:
         """The row-dict form, with native Python scalar types."""
         lists = {f: col.tolist() for f, col in self._columns.items()}
-        return [
-            {f: lists[f][i] for f in self.fields} for i in range(len(self))
-        ]
+        return [{f: lists[f][i] for f in self.fields} for i in range(len(self))]
 
     def iter_rows(self) -> Iterator[Record]:
         """Iterate rows as dicts (materialises via :meth:`to_records`)."""
@@ -144,9 +133,7 @@ class SweepResult:
     def to_csv_string(self) -> str:
         """CSV text, one header row plus one line per record."""
         buf = io.StringIO()
-        writer = csv.DictWriter(
-            buf, fieldnames=list(self.fields), lineterminator="\n"
-        )
+        writer = csv.DictWriter(buf, fieldnames=list(self.fields), lineterminator="\n")
         writer.writeheader()
         writer.writerows(self.to_records())
         return buf.getvalue()

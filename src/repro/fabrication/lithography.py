@@ -88,9 +88,7 @@ class LithographyRules:
         """
         if group_size < 1:
             raise ValueError(f"group size must be >= 1, got {group_size}")
-        return max(
-            self.min_contact_width_nm, group_size * self.nanowire_pitch_nm
-        )
+        return max(self.min_contact_width_nm, group_size * self.nanowire_pitch_nm)
 
     def boundary_loss_nanowires(self) -> float:
         """Expected nanowires lost per internal contact-group boundary.

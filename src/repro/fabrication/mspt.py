@@ -160,9 +160,7 @@ class MSPTProcess:
         width = 2.0 * nanowires_per_half_cave * self.recipe.pitch_nm
         return CaveGeometry(width_nm=width)
 
-    def run(
-        self, cave: CaveGeometry, iterations: int
-    ) -> MSPTArray:
+    def run(self, cave: CaveGeometry, iterations: int) -> MSPTArray:
         """Execute ``iterations`` spacer-definition loops in ``cave``.
 
         Each iteration deposits poly-Si conformally, etches it
@@ -182,9 +180,7 @@ class MSPTProcess:
         poly = self.recipe.poly_thickness_nm
         for i in range(iterations):
             offset = i * pitch
-            spacers.append(
-                Spacer(index=i, side="left", left_nm=offset, width_nm=poly)
-            )
+            spacers.append(Spacer(index=i, side="left", left_nm=offset, width_nm=poly))
             spacers.append(
                 Spacer(
                     index=i,

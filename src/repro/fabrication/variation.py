@@ -132,22 +132,101 @@ def sample_spacer_geometry(
     }
 
 
+def sample_spacer_centres_batched(
+    recipe: SpacerRecipe,
+    variation: ProcessVariation,
+    nanowires: int,
+    rng: np.random.Generator,
+    trials: int,
+) -> np.ndarray:
+    """``(trials, nanowires)`` spacer centres, trial axis leading.
+
+    The batched form of the ``centre_nm`` output of
+    :func:`sample_spacer_geometry`: every trial's poly/oxide thickness
+    realisations are drawn in two whole-block array calls and reduced
+    with a single row-wise cumulative sum.
+    """
+    if nanowires < 1:
+        raise VariationError("need at least one nanowire")
+    poly = recipe.poly_thickness_nm + rng.standard_normal(
+        (trials, nanowires)
+    ) * variation.poly_thickness_sigma_nm
+    oxide = recipe.oxide_thickness_nm + rng.standard_normal(
+        (trials, nanowires)
+    ) * variation.oxide_thickness_sigma_nm
+    if np.any(poly <= 0) or np.any(oxide <= 0):
+        raise VariationError(
+            "sampled a non-positive deposition thickness; sigma too large "
+            "for the recipe"
+        )
+    pitches = poly + oxide
+    lefts = np.empty((trials, nanowires))
+    lefts[:, 0] = 0.0
+    np.cumsum(pitches[:, :-1], axis=1, out=lefts[:, 1:])
+    return lefts + poly / 2.0
+
+
 def estimate_position_sigma(
     recipe: SpacerRecipe,
     variation: ProcessVariation,
     nanowires: int,
     samples: int,
     rng: np.random.Generator,
+    *,
+    method: str = "batched",
+    stream_block: int | None = None,
+    max_samples_per_chunk: int | None = None,
 ) -> np.ndarray:
     """Monte-Carlo estimate of each spacer's position sigma [nm].
 
     Cross-validates the closed-form random-walk model in the tests.
+
+    ``method="batched"`` (default) runs on the :mod:`repro.sim` trial
+    axis: the sample budget is split into the engine's chunk/stream-
+    block plan, one child generator is spawned per stream block from
+    ``rng``, and per-spacer moments accumulate through the Welford
+    combiners — so results depend only on ``(rng state,
+    stream_block)``, never on the chunk bound.  ``method="loop"`` is
+    the original one-geometry-per-iteration reference, drawing from
+    ``rng`` directly.  The two paths sample the same distribution from
+    different stream layouts, so they agree statistically rather than
+    draw-for-draw.
     """
+    from repro.sim.accumulators import StreamingMoments
+    from repro.sim.batch import (
+        DEFAULT_MAX_TRIALS_PER_CHUNK,
+        DEFAULT_STREAM_BLOCK,
+        block_sizes,
+        plan_chunks,
+        spawn_block_streams,
+    )
+
     if samples < 2:
         raise VariationError("need at least two samples")
-    centres = np.empty((samples, nanowires))
-    for s in range(samples):
-        centres[s] = sample_spacer_geometry(recipe, variation, nanowires, rng)[
-            "centre_nm"
-        ]
-    return centres.std(axis=0, ddof=1)
+    if method == "loop":
+        centres = np.empty((samples, nanowires))
+        for s in range(samples):
+            centres[s] = sample_spacer_geometry(
+                recipe, variation, nanowires, rng
+            )["centre_nm"]
+        return centres.std(axis=0, ddof=1)
+    if method != "batched":
+        raise VariationError(f"unknown method {method!r}; expected 'batched' or 'loop'")
+
+    block = DEFAULT_STREAM_BLOCK if stream_block is None else stream_block
+    chunk_bound = (
+        DEFAULT_MAX_TRIALS_PER_CHUNK
+        if max_samples_per_chunk is None
+        else max_samples_per_chunk
+    )
+    moments = [StreamingMoments() for _ in range(nanowires)]
+    for chunk in plan_chunks(samples, chunk_bound, block):
+        widths = block_sizes(chunk, block)
+        streams = spawn_block_streams(rng, len(widths))
+        for stream, width in zip(streams, widths):
+            centres = sample_spacer_centres_batched(
+                recipe, variation, nanowires, stream, width
+            )
+            for spacer, accumulator in enumerate(moments):
+                accumulator.update(centres[:, spacer])
+    return np.array([accumulator.std for accumulator in moments])

@@ -1,4 +1,4 @@
-"""Batched Monte-Carlo simulation engine (leading trial axis, chunked).
+"""Batched simulation engines (leading batch axis, factorized solves).
 
 Every stochastic result of the reproduction — the Sec. 6.1 cave-yield
 cross-check and the DeHon [6] / Hogg [8] stochastic-decoder baselines —
@@ -6,6 +6,12 @@ runs through this subsystem: a chunked, stream-reproducible engine that
 evaluates whole batches of trials per NumPy call instead of one trial
 per Python iteration.  See README.md ("Batched simulation engine") for
 the chunking and reproducibility contract.
+
+:mod:`repro.sim.readout` extends the same engine pattern to the
+deterministic sneak-path solvers: vectorized Laplacian stamping and
+factorized block-RHS solves behind the ``method="batched"`` paths of
+:class:`repro.crossbar.readout.ReadoutModel` and
+:class:`repro.crossbar.readout_distributed.DistributedReadout`.
 """
 
 from repro.sim.accumulators import MomentSet, StreamingMoments
@@ -37,12 +43,21 @@ from repro.sim.margins import (
     pair_block_matrix,
     select_margins_batched,
 )
+from repro.sim.readout import (
+    DistributedBank,
+    IdealBank,
+    distributed_laplacian,
+    ideal_laplacian,
+    scheme_margin_sweep,
+)
 
 __all__ = [
     "CaveYieldKernel",
     "Chunk",
     "DEFAULT_MAX_TRIALS_PER_CHUNK",
     "DEFAULT_STREAM_BLOCK",
+    "DistributedBank",
+    "IdealBank",
     "MarginYieldKernel",
     "MetricSummary",
     "MomentSet",
@@ -55,9 +70,12 @@ __all__ = [
     "applied_voltage_matrix",
     "block_margins_batched",
     "conflict_matrix",
+    "distributed_laplacian",
+    "ideal_laplacian",
     "pair_block_matrix",
     "plan_chunks",
     "resolve_rng",
+    "scheme_margin_sweep",
     "select_margins_batched",
     "simulate_cave_yield_batched",
     "spawn_block_streams",

@@ -270,9 +270,7 @@ class CaveYieldKernel(TrialKernel):
             mask = ok if mask is None else (mask & ok)
         return mask
 
-    def geometric_masks(
-        self, rng: np.random.Generator, trials: int
-    ) -> np.ndarray:
+    def geometric_masks(self, rng: np.random.Generator, trials: int) -> np.ndarray:
         """``(trials, N)`` boolean contact-boundary survival masks."""
         offsets = rng.uniform(
             -self.tolerance, self.tolerance, size=(trials, self.boundaries.size)
@@ -280,9 +278,7 @@ class CaveYieldKernel(TrialKernel):
         mask: np.ndarray | None = None
         for b in range(self.boundaries.size):
             position = self.boundaries[b] + offsets[:, b]
-            clear = (
-                np.abs(self.centres[None, :] - position[:, None]) > self.halfzone
-            )
+            clear = np.abs(self.centres[None, :] - position[:, None]) > self.halfzone
             mask = clear if mask is None else (mask & clear)
         if mask is None:
             mask = np.ones((trials, self.centres.size), dtype=bool)
@@ -358,6 +354,29 @@ def _unique_fraction_rows(ids: np.ndarray) -> np.ndarray:
     return (distinct_prev & distinct_next).mean(axis=1)
 
 
+def _unique_fraction_rows_multiword(words: np.ndarray) -> np.ndarray:
+    """Row-uniqueness over multi-word keys: ``words`` is (trials, group, W).
+
+    The multi-word generalisation of :func:`_unique_fraction_rows`: a
+    per-trial lexicographic sort over the key words (any consistent
+    total order works — only full-key *equality* matters) followed by
+    an all-words neighbour comparison.
+    """
+    trials, group, n_words = words.shape
+    if group == 1:
+        return np.ones(trials)
+    order = np.lexsort(tuple(words[..., w] for w in range(n_words - 1, -1, -1)))
+    s = np.take_along_axis(words, order[..., None], axis=1)
+    interior_distinct = (s[:, 1:, :] != s[:, :-1, :]).any(axis=2)
+    distinct_prev = np.empty((trials, group), dtype=bool)
+    distinct_prev[:, 0] = True
+    distinct_prev[:, 1:] = interior_distinct
+    distinct_next = np.empty((trials, group), dtype=bool)
+    distinct_next[:, -1] = True
+    distinct_next[:, :-1] = interior_distinct
+    return (distinct_prev & distinct_next).mean(axis=1)
+
+
 class RandomCodesKernel(TrialKernel):
     """Batched randomised-code decoder baseline (DeHon [6]).
 
@@ -382,9 +401,9 @@ class RandomContactsKernel(TrialKernel):
     """Batched random-contact decoder baseline (Hogg [8]).
 
     Signatures are packed into exact float64 integers (52 bits per
-    word) so row-uniqueness reduces to the same sort-and-compare as the
-    code kernel; more than 52 mesowires fall back to a per-trial
-    ``np.unique`` (exactness preserved, speed secondary at that size).
+    word, one word per 52-mesowire slice) so row-uniqueness reduces to
+    the same sort-and-compare as the code kernel at *every* size — no
+    per-trial ``np.unique`` fallback.
     """
 
     metrics = ("unique_fraction",)
@@ -409,13 +428,13 @@ class RandomContactsKernel(TrialKernel):
         )
         if self.mesowires <= self._BITS_PER_WORD:
             weights = 2.0 ** np.arange(self.mesowires)
-            ids = signatures @ weights
-            frac = _unique_fraction_rows(ids)
+            frac = _unique_fraction_rows(signatures @ weights)
         else:
-            frac = np.empty(trials)
-            for t in range(trials):
-                _, inverse, counts = np.unique(
-                    signatures[t], axis=0, return_inverse=True, return_counts=True
-                )
-                frac[t] = (counts[inverse] == 1).sum() / self.group_size
+            bits = self._BITS_PER_WORD
+            n_words = -(-self.mesowires // bits)
+            words = np.empty((trials, self.group_size, n_words))
+            for w in range(n_words):
+                chunk = signatures[..., w * bits : (w + 1) * bits]
+                words[..., w] = chunk @ (2.0 ** np.arange(chunk.shape[-1]))
+            frac = _unique_fraction_rows_multiword(words)
         return {"unique_fraction": frac}

@@ -55,9 +55,7 @@ from repro.sim.engine import TrialKernel
 _PAIR_BLOCK_ELEMENTS = 4_000_000
 
 
-def applied_voltage_matrix(
-    patterns: np.ndarray, scheme: LevelScheme
-) -> np.ndarray:
+def applied_voltage_matrix(patterns: np.ndarray, scheme: LevelScheme) -> np.ndarray:
     """``(N, M)`` applied-voltage grid: every wire's own address at once.
 
     Row ``i`` is :func:`repro.decoder.margins.applied_voltages` of
@@ -146,9 +144,7 @@ def block_margins_batched(
     :func:`pair_block_matrix`; byte-identical to the scalar pairwise
     loop (``+inf`` where a wire has no conflicting partner).
     """
-    return pair_block_matrix(
-        patterns, nu, scheme, sigma_t, k_sigma
-    ).min(axis=1)
+    return pair_block_matrix(patterns, nu, scheme, sigma_t, k_sigma).min(axis=1)
 
 
 # -- batched margin-yield Monte-Carlo ------------------------------------------
@@ -197,9 +193,7 @@ class MarginYieldKernel(TrialKernel):
         #: Sensing guard band [V]: k per-dose sigma units of headroom.
         self.guard_v = self.k_sigma * decoder.sigma_t
 
-    def realised_margins(
-        self, vt: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+    def realised_margins(self, vt: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Per-wire select/block margins of realised VTs ``(..., N, M)``.
 
         Returns ``(select, block)`` of shape ``(..., N)``; wires with

@@ -1,0 +1,403 @@
+"""Batched sneak-path readout engine: vectorized stamping, block-RHS solves.
+
+The scalar solvers in :mod:`repro.crossbar.readout` and
+:mod:`repro.crossbar.readout_distributed` assemble their conductance
+Laplacians with nested per-cell Python loops and solve one ``(states,
+row, col)`` triple per call.  This module is the batched engine behind
+their ``method="batched"`` paths:
+
+* **Vectorized stamping** — :func:`ideal_laplacian` stamps the
+  ideal-line Laplacian with ``np.add.at`` scatter-adds whose per-entry
+  accumulation order matches the scalar loop exactly, so the dense path
+  stays *byte-identical* to the ``method="loop"`` reference;
+  :func:`distributed_laplacian` builds the ``2 m n``-node
+  distributed-line Laplacian from COO triplet arrays (index grids, no
+  Python-level cell loops).
+
+* **Shared factorizations with block RHS** — the Laplacian depends only
+  on the ON/OFF state map, never on the selected cell, so reading many
+  cells of one bank (or one cell under many bias patterns) factorizes
+  once and solves a block right-hand side:
+
+  - ``float`` scheme: a read is a two-terminal problem, so the sense
+    current is ``v_read / R_eff(p, q)`` with the effective resistance
+    taken from Green's-function columns of one LU factorization
+    (:func:`scipy.linalg.lu_factor` for the small dense ideal banks,
+    :func:`scipy.sparse.linalg.splu` for distributed banks) solved
+    against a block of basis vectors — one column per distinct line
+    node the cell batch touches;
+  - ``ground`` / ``half_v`` schemes: the ideal bank is fully
+    constrained (closed-form currents), and the distributed bank shares
+    one free-node set across all cells, so the per-cell bias patterns
+    become columns of a single factorized ``splu`` solve.
+
+The block-RHS paths agree with the per-cell reference within solver
+tolerance (different but equally valid arithmetic; see
+``benchmarks/bench_readout.py`` for the gated bounds), while the
+single-cell dense path reproduces the scalar loop bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+from scipy.sparse import coo_matrix
+from scipy.sparse.linalg import splu
+
+__all__ = [
+    "DistributedBank",
+    "IdealBank",
+    "distributed_laplacian",
+    "ideal_laplacian",
+    "scheme_margin_sweep",
+]
+
+
+def _readout_error(message: str):
+    # lazy import: repro.crossbar.readout imports this module's classes
+    # inside its methods, so a module-level import here would be circular
+    from repro.crossbar.readout import ReadoutError
+
+    return ReadoutError(message)
+
+
+def _as_cells(cells, rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a cell batch; returns (row indices, col indices)."""
+    arr = np.asarray(cells, dtype=int)
+    if arr.ndim == 1 and arr.size == 2:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise _readout_error(
+            f"cells must be an (k, 2) array of (row, col) pairs, "
+            f"got shape {arr.shape}"
+        )
+    r, c = arr[:, 0], arr[:, 1]
+    if arr.size and (r.min() < 0 or r.max() >= rows or c.min() < 0 or c.max() >= cols):
+        raise _readout_error(f"cell batch selects outside the ({rows}, {cols}) bank")
+    return r, c
+
+
+# -- vectorized Laplacian stamping ---------------------------------------------
+
+
+def ideal_laplacian(g: np.ndarray) -> np.ndarray:
+    """Dense Laplacian of the ideal-line crossbar network.
+
+    Nodes are the ``rows`` row lines followed by the ``cols`` column
+    lines; every crosspoint is a conductance between its row and column
+    node.  Diagonal entries are accumulated with ``np.add.at`` in the
+    same element order as the scalar per-cell stamping loop, so the
+    result is byte-identical to the ``method="loop"`` reference.
+    """
+    rows, cols = g.shape
+    n = rows + cols
+    lap = np.zeros((n, n))
+    lap[:rows, rows:] = -g
+    lap[rows:, :rows] = -g.T
+    flat = g.ravel()
+    ii = np.repeat(np.arange(rows), cols)
+    jj = rows + np.tile(np.arange(cols), rows)
+    np.add.at(lap, (ii, ii), flat)
+    np.add.at(lap, (jj, jj), flat)
+    return lap
+
+
+def distributed_laplacian(
+    g: np.ndarray, row_segment_g: float, col_segment_g: float
+) -> "coo_matrix":
+    """Sparse Laplacian of the distributed-line network (COO triplets).
+
+    One node per line crossing (``2 * rows * cols`` total): node
+    ``i * cols + j`` is the row-line crossing, ``rows * cols + i * cols
+    + j`` the column-line crossing.  Crosspoints connect the two nodes
+    of a crossing; line segments connect adjacent crossings of one
+    line with the given segment conductances.  Duplicate triplets are
+    summed by the sparse constructor — the vectorized equivalent of the
+    scalar path's dict-based stamping.
+    """
+    rows, cols = g.shape
+    n = 2 * rows * cols
+    rnode = np.arange(rows * cols).reshape(rows, cols)
+    cnode = rows * cols + rnode
+
+    edges_a = [rnode.ravel()]
+    edges_b = [cnode.ravel()]
+    weights = [g.ravel()]
+    if cols > 1:
+        a = rnode[:, :-1].ravel()
+        edges_a.append(a)
+        edges_b.append(a + 1)
+        weights.append(np.full(a.size, row_segment_g))
+    if rows > 1:
+        a = cnode[:-1, :].ravel()
+        edges_a.append(a)
+        edges_b.append(a + cols)
+        weights.append(np.full(a.size, col_segment_g))
+    a = np.concatenate(edges_a)
+    b = np.concatenate(edges_b)
+    w = np.concatenate(weights)
+
+    data = np.concatenate([w, w, -w, -w])
+    i = np.concatenate([a, b, a, b])
+    j = np.concatenate([a, b, b, a])
+    return coo_matrix((data, (i, j)), shape=(n, n)).tocsr()
+
+
+# -- ideal-line bank solver ----------------------------------------------------
+
+
+class IdealBank:
+    """One stamped ideal-line bank: state-only Laplacian, shared solves.
+
+    The Laplacian depends only on the conductance map ``g`` — not on
+    the selected cell or the biasing scheme — so one ``IdealBank`` can
+    serve every read of the bank state: per-cell solves through
+    :meth:`read_current` (byte-compatible with the scalar loop) and
+    batched cell sets through :meth:`read_currents` (one dense LU
+    factorization, block RHS).
+    """
+
+    def __init__(self, g: np.ndarray) -> None:
+        self.g = np.asarray(g, dtype=float)
+        self.rows, self.cols = self.g.shape
+        self.lap = ideal_laplacian(self.g)
+        self._lu = None
+
+    # -- single cell (scalar-loop compatible arithmetic) -----------------------
+
+    def read_current(self, scheme: str, v_read: float, row: int, col: int) -> float:
+        """Sense current of one cell; bit-for-bit the scalar loop result.
+
+        The free/fixed reduction, dense solve and sense-current
+        accumulation replicate the reference arithmetic exactly — only
+        the Laplacian stamping is vectorized.
+        """
+        rows, cols = self.rows, self.cols
+        sense = rows + col
+        fixed: dict[int, float] = {row: v_read, sense: 0.0}
+        if scheme == "ground":
+            for i in range(rows):
+                if i != row:
+                    fixed[i] = 0.0
+            for j in range(cols):
+                if j != col:
+                    fixed[rows + j] = 0.0
+        elif scheme == "half_v":
+            for i in range(rows):
+                if i != row:
+                    fixed[i] = v_read / 2.0
+            for j in range(cols):
+                if j != col:
+                    fixed[rows + j] = v_read / 2.0
+
+        n_nodes = rows + cols
+        voltages = np.empty(n_nodes)
+        free = [k for k in range(n_nodes) if k not in fixed]
+        for k, v in fixed.items():
+            voltages[k] = v
+        if free:
+            a = self.lap[np.ix_(free, free)]
+            rhs = -self.lap[np.ix_(free, list(fixed))] @ np.array(
+                [fixed[k] for k in fixed]
+            )
+            voltages[np.array(free)] = np.linalg.solve(a, rhs)
+
+        current = 0.0
+        for i in range(rows):
+            current += self.g[i, col] * (voltages[i] - voltages[sense])
+        return float(current)
+
+    # -- batched cells (one factorization, block RHS) --------------------------
+
+    def _green_columns(self, nodes: np.ndarray) -> np.ndarray:
+        """Green's-function columns (gauge: node 0 grounded) for ``nodes``."""
+        if self._lu is None:
+            self._lu = lu_factor(self.lap[1:, 1:])
+        n = self.rows + self.cols
+        rhs = np.zeros((n - 1, nodes.size))
+        inner = nodes > 0
+        rhs[nodes[inner] - 1, np.nonzero(inner)[0]] = 1.0
+        full = np.zeros((n, nodes.size))
+        full[1:] = lu_solve(self._lu, rhs)
+        return full
+
+    def read_currents(self, scheme: str, v_read: float, cells) -> np.ndarray:
+        """Sense currents of many cells of this bank state.
+
+        ``ground`` and ``half_v`` banks are fully constrained, so the
+        currents are closed-form; ``float`` reads share one dense LU
+        factorization and solve a block RHS of basis vectors (one
+        column per distinct line node in the batch).
+        """
+        r, c = _as_cells(cells, self.rows, self.cols)
+        if r.size == 0:
+            return np.empty(0)
+        if scheme == "ground":
+            return v_read * self.g[r, c]
+        if scheme == "half_v":
+            col_sums = self.g.sum(axis=0)
+            return v_read * self.g[r, c] + (v_read / 2.0) * (col_sums[c] - self.g[r, c])
+        # float: two-terminal effective resistance via Green's columns
+        p = r
+        q = self.rows + c
+        nodes = np.unique(np.concatenate([p, q]))
+        green = self._green_columns(nodes)
+        ip = np.searchsorted(nodes, p)
+        iq = np.searchsorted(nodes, q)
+        r_eff = green[p, ip] + green[q, iq] - green[p, iq] - green[q, ip]
+        return v_read / r_eff
+
+
+# -- distributed-line bank solver ----------------------------------------------
+
+
+class DistributedBank:
+    """One stamped distributed-line bank: sparse LU, block-RHS solves.
+
+    ``row_segment_g`` / ``col_segment_g`` are the *effective* segment
+    conductances (the zero-resistance limit substituted with the same
+    large-but-conditioned value as the scalar path).  Like
+    :class:`IdealBank`, the Laplacian depends only on the state map, so
+    one factorization serves every cell of the batch: the ``float``
+    scheme through Green's-function columns of one :func:`splu`
+    factorization, the biased schemes through a shared free-node set
+    whose per-cell bias patterns form the columns of a single
+    block-RHS solve.
+    """
+
+    def __init__(
+        self, g: np.ndarray, row_segment_g: float, col_segment_g: float
+    ) -> None:
+        self.g = np.asarray(g, dtype=float)
+        self.rows, self.cols = self.g.shape
+        self.row_segment_g = float(row_segment_g)
+        self.col_segment_g = float(col_segment_g)
+        self.n_nodes = 2 * self.rows * self.cols
+        self.lap = distributed_laplacian(self.g, row_segment_g, col_segment_g)
+        self._green = None
+        self._biased = None
+
+    # node indexing (matches the scalar path): row crossing (i, j) is
+    # i * cols + j, column crossing (i, j) is rows * cols + i * cols + j
+
+    def _green_columns(self, nodes: np.ndarray) -> np.ndarray:
+        """Green's-function columns (gauge: node 0 grounded) for ``nodes``."""
+        if self._green is None:
+            self._green = splu(self.lap[1:, :][:, 1:].tocsc())
+        rhs = np.zeros((self.n_nodes - 1, nodes.size))
+        inner = nodes > 0
+        rhs[nodes[inner] - 1, np.nonzero(inner)[0]] = 1.0
+        full = np.zeros((self.n_nodes, nodes.size))
+        full[1:] = self._green.solve(rhs)
+        return full
+
+    def _biased_system(self):
+        """Factorized free-node system shared by ground/half_v reads.
+
+        Under the biased schemes every line-end node is constrained for
+        every selected cell, so the free-node set — and therefore the
+        reduced matrix and its factorization — is identical across the
+        whole cell batch; only the fixed *values* change per cell.
+        """
+        if self._biased is None:
+            row_ends = np.arange(self.rows) * self.cols
+            col_ends = self.rows * self.cols + np.arange(self.cols)
+            fixed = np.concatenate([row_ends, col_ends])
+            free_mask = np.ones(self.n_nodes, dtype=bool)
+            free_mask[fixed] = False
+            free = np.nonzero(free_mask)[0]
+            reduced = self.lap[free, :]
+            lu = splu(reduced[:, free].tocsc()) if free.size else None
+            self._biased = (fixed, free, lu, reduced[:, fixed])
+        return self._biased
+
+    def read_currents(self, scheme: str, v_read: float, cells) -> np.ndarray:
+        """Sense currents of many cells of this bank state (one solve)."""
+        r, c = _as_cells(cells, self.rows, self.cols)
+        if r.size == 0:
+            return np.empty(0)
+        if scheme == "float":
+            return self._float_currents(v_read, r, c)
+        return self._biased_currents(scheme, v_read, r, c)
+
+    def _float_currents(
+        self, v_read: float, r: np.ndarray, c: np.ndarray
+    ) -> np.ndarray:
+        # driver at the row's near end, sense amp at the column's near
+        # end: a two-terminal problem per cell, all sharing one splu
+        p = r * self.cols
+        q = self.rows * self.cols + c
+        nodes = np.unique(np.concatenate([p, q]))
+        green = self._green_columns(nodes)
+        ip = np.searchsorted(nodes, p)
+        iq = np.searchsorted(nodes, q)
+        r_eff = green[p, ip] + green[q, iq] - green[p, iq] - green[q, ip]
+        return v_read / r_eff
+
+    def _biased_currents(
+        self, scheme: str, v_read: float, r: np.ndarray, c: np.ndarray
+    ) -> np.ndarray:
+        bias = 0.0 if scheme == "ground" else v_read / 2.0
+        fixed, free, lu, lap_fc = self._biased_system()
+        k = r.size
+        batch = np.arange(k)
+        # fixed-node layout: the first ``rows`` entries are the row
+        # drivers rnode(i, 0), the rest the column senses cnode(0, j)
+        v_fixed = np.full((fixed.size, k), bias)
+        v_fixed[r, batch] = v_read
+        v_fixed[self.rows + c, batch] = 0.0
+        voltages = np.empty((self.n_nodes, k))
+        voltages[fixed] = v_fixed
+        if free.size:
+            voltages[free] = lu.solve(-(lap_fc @ v_fixed))
+        sense = self.rows * self.cols + c
+        near_row = c  # rnode(0, c) == c
+        currents = self.g[0, c] * (voltages[near_row, batch] - voltages[sense, batch])
+        if self.rows > 1:
+            below = self.rows * self.cols + self.cols + c  # cnode(1, c)
+            currents = currents + self.col_segment_g * (
+                voltages[below, batch] - voltages[sense, batch]
+            )
+        return currents
+
+
+# -- bank-size sweeps ----------------------------------------------------------
+
+
+def scheme_margin_sweep(
+    sizes,
+    *,
+    r_on: float = 1.0e5,
+    r_off: float = 1.0e7,
+    v_read: float = 0.5,
+    schemes=("float", "ground", "half_v"),
+) -> dict:
+    """Worst-case sense margins of square banks, per scheme and size.
+
+    The two worst-case backgrounds (all-ON, and all-ON with the
+    selected cell OFF) are stamped once per bank size and shared across
+    every biasing scheme — the Laplacian depends only on the state map.
+    Margins equal the scalar ``method="loop"`` path bit for bit.
+    """
+    for size in sizes:
+        if size < 1:
+            raise _readout_error(
+                f"bank sizes must be >= 1, got {size} in {tuple(sizes)}"
+            )
+    out = {scheme: [] for scheme in schemes}
+    for size in sizes:
+        # same scalar 1/r division as ReadoutModel.conductances, so the
+        # margins stay byte-identical to the loop path
+        g_on = np.full((size, size), 1.0 / r_on)
+        off_map = np.ones((size, size), dtype=bool)
+        off_map[0, 0] = False
+        g_off = np.where(off_map, 1.0 / r_on, 1.0 / r_off)
+        bank_on = IdealBank(g_on)
+        bank_off = IdealBank(g_off)
+        for scheme in schemes:
+            i_on = bank_on.read_current(scheme, v_read, 0, 0)
+            i_off = bank_off.read_current(scheme, v_read, 0, 0)
+            if i_on <= 0:
+                raise _readout_error("non-positive ON current; check the model")
+            out[scheme].append((i_on - i_off) / i_on)
+    return out

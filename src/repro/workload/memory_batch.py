@@ -93,8 +93,11 @@ def prepare_workload(
     if address_space <= 0:
         address_space = analytic_address_space(spec, space, ecc)
     return fleet, make_trace(
-        trace, accesses, address_space,
-        write_fraction=write_fraction, seed=seed,
+        trace,
+        accesses,
+        address_space,
+        write_fraction=write_fraction,
+        seed=seed,
     )
 
 
@@ -179,14 +182,10 @@ class MemoryFleet:
             )
         self._maps = list(defect_maps)
         self._ecc = ecc
-        self._remaps = [
-            np.flatnonzero(dm.working.ravel()) for dm in self._maps
-        ]
+        self._remaps = [np.flatnonzero(dm.working.ravel()) for dm in self._maps]
         rows, cols = self._maps[0].shape
         self._raw_bits = rows * cols
-        self._capacity_bits = np.array(
-            [r.size for r in self._remaps], dtype=np.int64
-        )
+        self._capacity_bits = np.array([r.size for r in self._remaps], dtype=np.int64)
         if ecc is not None:
             self._enc = np.stack(
                 [
@@ -261,9 +260,7 @@ class MemoryFleet:
         """Per-instance usable payload bits (after ECC overhead)."""
         if self._ecc is None:
             return self._capacity_bits.copy()
-        return (
-            self._capacity_bits // self._ecc.block_bits
-        ) * self._ecc.data_bits
+        return (self._capacity_bits // self._ecc.block_bits) * self._ecc.data_bits
 
     def suggested_address_space(self) -> int:
         """Largest address space every fleet instance can serve."""
@@ -312,13 +309,15 @@ class MemoryFleet:
         )
         if method == "batched":
             return self._run_batched(
-                trace, chunk_size, err_streams, write_error_rate,
-                collect_reads, collect_state,
+                trace,
+                chunk_size,
+                err_streams,
+                write_error_rate,
+                collect_reads,
+                collect_state,
             )
         if method != "loop":
-            raise ValueError(
-                f"unknown method {method!r}; use 'batched' or 'loop'"
-            )
+            raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
         return self._run_loop(
             trace, err_streams, write_error_rate, collect_reads, collect_state
         )
@@ -387,9 +386,7 @@ class MemoryFleet:
                     if p == 0:
                         shared_vals_s = vw[order]
                 else:
-                    clean_blocks_w = np.where(
-                        vw[:, None], self._enc[1], self._enc[0]
-                    )
+                    clean_blocks_w = np.where(vw[:, None], self._enc[1], self._enc[0])
                     if p == 0:
                         shared_blocks_s = clean_blocks_w[order]
 
@@ -460,8 +457,13 @@ class MemoryFleet:
             read_off += n_r
 
         return self._finish(
-            trace, failures, first_fail, corrected, uncorrectable,
-            read_bits, np.stack(state) if collect_state else None,
+            trace,
+            failures,
+            first_fail,
+            corrected,
+            uncorrectable,
+            read_bits,
+            np.stack(state) if collect_state else None,
         )
 
     # -- scalar reference path -------------------------------------------------
@@ -544,8 +546,13 @@ class MemoryFleet:
                 state[i] = mem.raw_state().ravel()
 
         return self._finish(
-            trace, failures, first_fail, corrected, uncorrectable,
-            read_bits, state,
+            trace,
+            failures,
+            first_fail,
+            corrected,
+            uncorrectable,
+            read_bits,
+            state,
         )
 
     # -- aggregation -----------------------------------------------------------

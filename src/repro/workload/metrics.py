@@ -75,9 +75,7 @@ def summarize_fleet(
     names = tuple(per_instance)
     moments = MomentSet(names)
     moments.update(per_instance)
-    return {
-        name: MetricSummary.from_moments(moments[name]) for name in names
-    }
+    return {name: MetricSummary.from_moments(moments[name]) for name in names}
 
 
 def exhausted_fraction(per_instance: dict[str, np.ndarray]) -> float:

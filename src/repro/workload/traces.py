@@ -69,13 +69,9 @@ class Trace:
                 f"{a.size}, {w.size}, {v.size}"
             )
         if self.address_space < 1:
-            raise TraceError(
-                f"address space must be >= 1, got {self.address_space}"
-            )
+            raise TraceError(f"address space must be >= 1, got {self.address_space}")
         if a.size and (a.min() < 0 or a.max() >= self.address_space):
-            raise TraceError(
-                f"addresses must lie in [0, {self.address_space})"
-            )
+            raise TraceError(f"addresses must lie in [0, {self.address_space})")
 
     @property
     def accesses(self) -> int:
@@ -99,9 +95,7 @@ def _validate(accesses: int, address_space: int, write_fraction: float) -> None:
     if address_space < 1:
         raise TraceError(f"address space must be >= 1, got {address_space}")
     if not 0.0 <= write_fraction <= 1.0:
-        raise TraceError(
-            f"write fraction must be in [0, 1], got {write_fraction}"
-        )
+        raise TraceError(f"write fraction must be in [0, 1], got {write_fraction}")
 
 
 def _assemble(

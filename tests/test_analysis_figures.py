@@ -102,7 +102,5 @@ class TestFig8:
 
     def test_minimum_is_an_optimised_code(self, spec):
         data = fig8_bit_area(spec)
-        best_family = min(
-            data, key=lambda fam: min(area for _, area in data[fam])
-        )
+        best_family = min(data, key=lambda fam: min(area for _, area in data[fam]))
         assert best_family in ("BGC", "AHC")

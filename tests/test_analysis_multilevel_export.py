@@ -39,9 +39,7 @@ class TestMultilevelComparison:
 
     def test_covers_requested_grid(self, points):
         keys = {(p.n, p.family) for p in points}
-        assert keys == {
-            (n, fam) for n in (2, 3) for fam in ("TC", "GC", "BGC")
-        }
+        assert keys == {(n, fam) for n in (2, 3) for fam in ("TC", "GC", "BGC")}
 
     def test_paper_remark_holds(self, points):
         """'Similar results were obtained ... with a higher logic level'."""

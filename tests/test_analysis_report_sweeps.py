@@ -54,9 +54,7 @@ class TestSweep:
         ]
 
     def test_grid(self):
-        records = grid_sweep(
-            {"a": [1, 2], "b": [10, 20]}, lambda a, b: {"sum": a + b}
-        )
+        records = grid_sweep({"a": [1, 2], "b": [10, 20]}, lambda a, b: {"sum": a + b})
         assert len(records) == 4
         assert {"a": 2, "b": 10, "sum": 12} in records
 

@@ -99,16 +99,33 @@ class TestSubcommands:
 
     def test_margins_with_sampling(self, capsys):
         code, out = run_cli(
-            capsys, "margins", "--family", "BGC", "-M", "8",
-            "--samples", "200", "--seed", "1",
+            capsys,
+            "margins",
+            "--family",
+            "BGC",
+            "-M",
+            "8",
+            "--samples",
+            "200",
+            "--seed",
+            "1",
         )
         assert code == 0
         assert "mc yield" in out and "mc stderr" in out
 
     def test_margins_loop_batched_identical(self, capsys):
         args = (
-            "margins", "--family", "GC,BGC", "-M", "8",
-            "--samples", "150", "--seed", "3", "--format", "json",
+            "margins",
+            "--family",
+            "GC,BGC",
+            "-M",
+            "8",
+            "--samples",
+            "150",
+            "--seed",
+            "3",
+            "--format",
+            "json",
         )
         _, batched = run_cli(capsys, *args, "--method", "batched")
         _, loop = run_cli(capsys, *args, "--method", "loop")
@@ -158,9 +175,20 @@ class TestMarginsGoldens:
 
     def test_seeded_margins_golden(self, capsys):
         code, out = run_cli(
-            capsys, "margins", "--family", "GC,BGC", "-M", "8",
-            "--samples", "300", "--seed", "7", "--k-sigma", "2.0",
-            "--format", "json",
+            capsys,
+            "margins",
+            "--family",
+            "GC,BGC",
+            "-M",
+            "8",
+            "--samples",
+            "300",
+            "--seed",
+            "7",
+            "--k-sigma",
+            "2.0",
+            "--format",
+            "json",
         )
         assert code == 0
         payload = json.loads(out)
@@ -177,7 +205,5 @@ class TestMarginsGoldens:
 class TestPlatformKnobs:
     def test_platform_knobs_change_results(self, capsys):
         _, loose = run_cli(capsys, "evaluate", "TC", "-M", "6")
-        _, tight = run_cli(
-            capsys, "--sigma-t", "0.12", "evaluate", "TC", "-M", "6"
-        )
+        _, tight = run_cli(capsys, "--sigma-t", "0.12", "evaluate", "TC", "-M", "6")
         assert loose != tight

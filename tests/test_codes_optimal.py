@@ -25,8 +25,13 @@ class TestSigmaCostIdentity:
 
     @pytest.mark.parametrize(
         "space",
-        [TreeCode(2, 3), GrayCode(2, 3), GrayCode(3, 2), HotCode(2, 2),
-         ArrangedHotCode(2, 2)],
+        [
+            TreeCode(2, 3),
+            GrayCode(2, 3),
+            GrayCode(3, 2),
+            HotCode(2, 2),
+            ArrangedHotCode(2, 2),
+        ],
         ids=lambda s: s.name,
     )
     def test_identity_matches_matrices(self, space):
@@ -39,9 +44,7 @@ class TestSigmaCostIdentity:
         for order in ([0, 1, 2, 3], [3, 1, 0, 2], [2, 3, 0, 1]):
             identity = sigma_cost_of_order(space, order)
             reordered = space.rearranged(order)
-            matrices = sigma_norm1(
-                code_variability(reordered, space.size, sigma_t=1.0)
-            )
+            matrices = sigma_norm1(code_variability(reordered, space.size, sigma_t=1.0))
             assert identity == matrices
 
 
@@ -110,9 +113,7 @@ class TestExactPhiOptimum:
         plan = DopingPlan.from_code(
             space.rearranged(order), space.size, default_digit_map(2)
         )
-        assert phi_cost_of_order(space, order) == fabrication_complexity(
-            plan.steps
-        )
+        assert phi_cost_of_order(space, order) == fabrication_complexity(plan.steps)
 
     def test_budget_exceeded_raises(self):
         # ternary space: the root bound does not close the search, so a

@@ -115,9 +115,7 @@ def word_sequences(draw):
     n = draw(st.integers(2, 4))
     m = draw(st.integers(1, 4))
     count = draw(st.integers(2, 8))
-    return [
-        tuple(draw(st.integers(0, n - 1)) for _ in range(m)) for _ in range(count)
-    ]
+    return [tuple(draw(st.integers(0, n - 1)) for _ in range(m)) for _ in range(count)]
 
 
 @given(word_sequences())

@@ -16,9 +16,7 @@ class TestDecoderDesign:
 
     def test_headline_properties_consistent(self, spec):
         design = DecoderDesign.build("GC", 8, spec=spec)
-        assert design.cave_yield == pytest.approx(
-            design.yield_report.cave_yield
-        )
+        assert design.cave_yield == pytest.approx(design.yield_report.cave_yield)
         assert design.bit_area_nm2 == pytest.approx(
             design.area_report.effective_bit_area_nm2
         )
@@ -55,13 +53,9 @@ class TestObjectives:
         code = make_code("BGC", 2, 8)
         design = DecoderDesign(space=code, spec=spec)
         assert OBJECTIVES["complexity"](spec, code) == design.fabrication_complexity
-        assert OBJECTIVES["variability"](spec, code) == pytest.approx(
-            design.sigma_norm
-        )
+        assert OBJECTIVES["variability"](spec, code) == pytest.approx(design.sigma_norm)
         assert OBJECTIVES["yield"](spec, code) == pytest.approx(-design.cave_yield)
-        assert OBJECTIVES["bit_area"](spec, code) == pytest.approx(
-            design.bit_area_nm2
-        )
+        assert OBJECTIVES["bit_area"](spec, code) == pytest.approx(design.bit_area_nm2)
 
 
 class TestExploreDesigns:

@@ -12,9 +12,7 @@ from repro.crossbar.readout import ReadoutModel
 def array():
     from repro.crossbar.spec import CrossbarSpec
 
-    return CrossbarArray(
-        CrossbarSpec(), make_code("BGC", 2, 10), seed=42
-    )
+    return CrossbarArray(CrossbarSpec(), make_code("BGC", 2, 10), seed=42)
 
 
 def accessible_cell(array, start_row=0, start_col=0):

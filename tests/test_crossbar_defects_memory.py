@@ -18,9 +18,7 @@ class TestDefectMap:
         assert dm.working.sum() == 2
 
     def test_crosspoint_yield(self):
-        dm = DefectMap(
-            row_ok=np.array([True, True]), col_ok=np.array([True, False])
-        )
+        dm = DefectMap(row_ok=np.array([True, True]), col_ok=np.array([True, False]))
         assert dm.crosspoint_yield == pytest.approx(0.5)
 
     def test_rejects_non_1d(self):

@@ -28,9 +28,7 @@ class TestHalfCaveTest:
         decoder = decoder_for(spec, make_code("TC", 2, 6))
         report = probe_half_cave(decoder, rng)
         total_failed = int((~report.passed).sum())
-        assert total_failed == (
-            report.electrical_failures + report.geometric_failures
-        )
+        assert total_failed == (report.electrical_failures + report.geometric_failures)
 
     def test_deterministic_given_rng_state(self, spec):
         decoder = decoder_for(spec, make_code("BGC", 2, 8))

@@ -19,9 +19,7 @@ class TestConstruction:
 
     def test_rejects_scheme_valence_mismatch(self):
         with pytest.raises(ValueError):
-            HalfCaveDecoder(
-                make_code("GC", 3, 6), nanowires=10, scheme=LevelScheme(2)
-            )
+            HalfCaveDecoder(make_code("GC", 3, 6), nanowires=10, scheme=LevelScheme(2))
 
     def test_rejects_zero_nanowires(self):
         with pytest.raises(ValueError):
@@ -45,9 +43,7 @@ class TestDerivedMatrices:
 
     def test_sigma_norm_and_average(self, decoder):
         assert decoder.sigma_norm == pytest.approx(decoder.sigma.sum())
-        assert decoder.average_variability == pytest.approx(
-            decoder.sigma.mean()
-        )
+        assert decoder.average_variability == pytest.approx(decoder.sigma.mean())
 
 
 class TestYieldComponents:

@@ -64,9 +64,7 @@ class TestRandomContacts:
         assert biased > fair
 
     def test_fraction_monotone_in_mesowires(self):
-        fracs = [
-            random_contact_addressable_fraction(20, m) for m in (2, 6, 10, 16)
-        ]
+        fracs = [random_contact_addressable_fraction(20, m) for m in (2, 6, 10, 16)]
         assert all(b > a for a, b in zip(fracs, fracs[1:]))
 
     def test_monte_carlo_agrees(self, rng):

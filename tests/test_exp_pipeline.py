@@ -69,7 +69,10 @@ class TestDesignPoint:
     def test_axes_columns(self):
         p = DesignPoint.make("HC", 6, n=2, sigma_t=0.05)
         assert p.axes() == {
-            "family": "HC", "n": 2, "total_length": 6, "sigma_t": 0.05,
+            "family": "HC",
+            "n": 2,
+            "total_length": 6,
+            "sigma_t": 0.05,
         }
         assert p.label == "HC/6"
 
@@ -176,9 +179,7 @@ class TestPipelineExecution:
     def test_row_order_follows_point_order(self, grid, spec):
         result = run_sweep(grid, ("complexity",), spec=spec, jobs=2)
         assert result.column("family").tolist() == [p.family for p in grid]
-        assert result.column("total_length").tolist() == [
-            p.total_length for p in grid
-        ]
+        assert result.column("total_length").tolist() == [p.total_length for p in grid]
 
     def test_montecarlo_metric_deterministic_across_jobs(self, spec):
         points = design_grid(families=("TC", "BGC"), lengths=(6, 8))
@@ -230,9 +231,7 @@ class TestCacheBehaviour:
         clear_caches()
         grid = design_grid(axes=GRID_AXES)
         first = run_sweep(grid, ("yield",), spec=spec)
-        misses_after_first = {
-            name: s["misses"] for name, s in cache_stats().items()
-        }
+        misses_after_first = {name: s["misses"] for name, s in cache_stats().items()}
         second = run_sweep(grid, ("yield",), spec=spec)
         assert second == first
         for name, s in cache_stats().items():
@@ -344,9 +343,7 @@ class TestGoldenEquivalence:
         from repro.analysis.sweeps import grid_sweep, sweep
 
         # iterator-valued axes are materialised, not consumed twice
-        records = grid_sweep(
-            {"x": (i for i in range(3))}, lambda x: {"y": 2 * x}
-        )
+        records = grid_sweep({"x": (i for i in range(3))}, lambda x: {"y": 2 * x})
         assert records == [{"x": 0, "y": 0}, {"x": 1, "y": 2}, {"x": 2, "y": 4}]
         # per-value result fields (ragged records) stay allowed
         ragged = sweep("x", [1, 2], lambda v: {"big": True} if v > 1 else {})
@@ -358,8 +355,13 @@ class TestGoldenEquivalence:
 
 class TestSweepCLI:
     GRID_ARGS = [
-        "sweep", "--metric", "yield,area",
-        "--axis", "sigma_t=0.04,0.05,0.06", "--format", "json",
+        "sweep",
+        "--metric",
+        "yield,area",
+        "--axis",
+        "sigma_t=0.04,0.05,0.06",
+        "--format",
+        "json",
     ]
 
     def run(self, capsys, *argv):
@@ -377,30 +379,62 @@ class TestSweepCLI:
     def test_csv_format_and_output_file(self, capsys, tmp_path):
         out_path = tmp_path / "sweep.csv"
         code, out = self.run(
-            capsys, "sweep", "--families", "TC,BGC", "--lengths", "6,8",
-            "--metric", "complexity", "--format", "csv",
-            "--output", str(out_path),
+            capsys,
+            "sweep",
+            "--families",
+            "TC,BGC",
+            "--lengths",
+            "6,8",
+            "--metric",
+            "complexity",
+            "--format",
+            "csv",
+            "--output",
+            str(out_path),
         )
         assert code == 0 and "wrote" in out
         lines = out_path.read_text().splitlines()
-        assert lines[0] == "family,n,total_length,phi,sigma_norm_V2,average_variability_V2"
+        assert (
+        lines[0] == "family,n,total_length,phi,sigma_norm_V2,average_variability_V2"
+    )
         assert len(lines) == 5
 
     def test_table_format_reports_point_count(self, capsys):
         code, out = self.run(
-            capsys, "sweep", "--families", "HC", "--lengths", "4,6",
+            capsys,
+            "sweep",
+            "--families",
+            "HC",
+            "--lengths",
+            "4,6",
         )
         assert code == 0
         assert "2 design points" in out and "cave_yield" in out
 
     def test_platform_knobs_apply(self, capsys):
         _, harsh = self.run(
-            capsys, "--sigma-t", "0.10", "sweep", "--families", "BGC",
-            "--lengths", "8", "--format", "json",
+            capsys,
+            "--sigma-t",
+            "0.10",
+            "sweep",
+            "--families",
+            "BGC",
+            "--lengths",
+            "8",
+            "--format",
+            "json",
         )
         _, mild = self.run(
-            capsys, "--sigma-t", "0.03", "sweep", "--families", "BGC",
-            "--lengths", "8", "--format", "json",
+            capsys,
+            "--sigma-t",
+            "0.03",
+            "sweep",
+            "--families",
+            "BGC",
+            "--lengths",
+            "8",
+            "--format",
+            "json",
         )
         assert json.loads(harsh)[0]["cave_yield"] < json.loads(mild)[0]["cave_yield"]
 

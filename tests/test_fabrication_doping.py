@@ -41,9 +41,7 @@ class TestStepDopingMatrix:
     def test_paper_example2(self, paper_map, example1_pattern):
         d = final_doping_matrix(example1_pattern, paper_map)
         s = step_doping_matrix(d)
-        expected = np.array(
-            [[0, -5, 0, 2], [-2, 7, 5, -7], [4, 2, 4, 9]], dtype=float
-        )
+        expected = np.array([[0, -5, 0, 2], [-2, 7, 5, -7], [4, 2, 4, 9]], dtype=float)
         assert np.allclose(s, expected)
 
     def test_last_row_equals_final(self):

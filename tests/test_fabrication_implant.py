@@ -96,9 +96,7 @@ class TestPlanner:
         flow = ProcessFlow.from_plan(plan)
         events = [e for e in flow.events if isinstance(e, DopingEvent)]
         for event, setting in zip(events, planner.plan(plan)):
-            assert planner.delivered_concentration(setting) == pytest.approx(
-                event.dose
-            )
+            assert planner.delivered_concentration(setting) == pytest.approx(event.dose)
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ImplantError):

@@ -19,24 +19,18 @@ def recipe():
 
 @pytest.fixture
 def variation():
-    return ProcessVariation(
-        poly_thickness_sigma_nm=0.3, oxide_thickness_sigma_nm=0.3
-    )
+    return ProcessVariation(poly_thickness_sigma_nm=0.3, oxide_thickness_sigma_nm=0.3)
 
 
 class TestProcessVariation:
     def test_pitch_sigma_is_rss(self, variation):
-        assert variation.pitch_sigma_nm == pytest.approx(
-            np.hypot(0.3, 0.3)
-        )
+        assert variation.pitch_sigma_nm == pytest.approx(np.hypot(0.3, 0.3))
 
     def test_position_sigma_grows_like_random_walk(self, variation):
         sigmas = [variation.position_sigma_nm(i) for i in (0, 5, 20)]
         assert sigmas[0] < sigmas[1] < sigmas[2]
         # random walk: sigma ~ sqrt(i)
-        assert sigmas[2] / sigmas[1] == pytest.approx(
-            np.sqrt(20 / 5), rel=0.15
-        )
+        assert sigmas[2] / sigmas[1] == pytest.approx(np.sqrt(20 / 5), rel=0.15)
 
     def test_first_spacer_only_own_half_width_error(self, variation):
         assert variation.position_sigma_nm(0) == pytest.approx(0.15)
@@ -91,9 +85,7 @@ class TestEstimatePositionSigma:
         estimated = estimate_position_sigma(
             recipe, variation, nanowires=15, samples=1500, rng=rng
         )
-        analytic = np.array(
-            [variation.position_sigma_nm(i) for i in range(15)]
-        )
+        analytic = np.array([variation.position_sigma_nm(i) for i in range(15)])
         assert np.allclose(estimated, analytic, rtol=0.12)
 
     def test_requires_samples(self, recipe, variation, rng):

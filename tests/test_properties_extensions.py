@@ -94,9 +94,7 @@ def test_random_contact_fraction_is_probability(group, mesowires):
 def small_state_maps(draw):
     rows = draw(st.integers(1, 5))
     cols = draw(st.integers(1, 5))
-    bits = draw(
-        st.lists(st.booleans(), min_size=rows * cols, max_size=rows * cols)
-    )
+    bits = draw(st.lists(st.booleans(), min_size=rows * cols, max_size=rows * cols))
     return np.array(bits).reshape(rows, cols)
 
 
@@ -127,9 +125,7 @@ def test_grounding_never_reads_lower_than_isolated_cell(states):
     selected cell's Ohm's-law current (no sneak additions/subtractions)."""
     model = ReadoutModel(scheme="ground")
     g = 1.0 / model.r_on if states[0, 0] else 1.0 / model.r_off
-    assert model.read_current(states, 0, 0) == pytest.approx(
-        model.v_read * g, rel=1e-6
-    )
+    assert model.read_current(states, 0, 0) == pytest.approx(model.v_read * g, rel=1e-6)
 
 
 # -- address map ------------------------------------------------------------------

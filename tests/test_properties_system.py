@@ -24,9 +24,7 @@ def pattern_matrices(draw):
     n = draw(st.integers(2, 4))
     rows = draw(st.integers(1, 12))
     cols = draw(st.integers(1, 8))
-    p = draw(
-        arrays(dtype=np.int64, shape=(rows, cols), elements=st.integers(0, n - 1))
-    )
+    p = draw(arrays(dtype=np.int64, shape=(rows, cols), elements=st.integers(0, n - 1)))
     return p, n
 
 

@@ -70,9 +70,7 @@ class TestDistributedReadout:
         """With ideal lines the distributed solver reproduces the
         single-node solver."""
         ideal = ReadoutModel()
-        dist = DistributedReadout(
-            base=ideal, row_segment_ohm=0.0, col_segment_ohm=0.0
-        )
+        dist = DistributedReadout(base=ideal, row_segment_ohm=0.0, col_segment_ohm=0.0)
         states = np.zeros((6, 6), dtype=bool)
         states[2, 3] = True
         a = ideal.read_current(states, 2, 3)
@@ -83,9 +81,7 @@ class TestDistributedReadout:
         states = np.ones((8, 8), dtype=bool)
         ideal = DistributedReadout(row_segment_ohm=0.0, col_segment_ohm=0.0)
         lossy = DistributedReadout(row_segment_ohm=500.0, col_segment_ohm=500.0)
-        assert lossy.read_current(states, 7, 7) < ideal.read_current(
-            states, 7, 7
-        )
+        assert lossy.read_current(states, 7, 7) < ideal.read_current(states, 7, 7)
 
     def test_ir_drop_gradient_along_diagonal(self):
         """Far-corner cells read lower — the position dependence the
@@ -110,9 +106,7 @@ class TestDistributedReadout:
         from repro.device.resistance import NanowireGeometry
 
         seg = segment_resistance_ohm(NanowireGeometry(), 5e18, 20)
-        dist = DistributedReadout(
-            row_segment_ohm=seg, col_segment_ohm=seg
-        )
+        dist = DistributedReadout(row_segment_ohm=seg, col_segment_ohm=seg)
         assert dist.worst_case_margin(20) > 0
 
     def test_rejects_negative_segments(self):

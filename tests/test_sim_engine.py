@@ -157,9 +157,7 @@ class TestRandomCodesEquivalence:
         chunk=st.integers(min_value=1, max_value=1000),
         seed=st.integers(min_value=0, max_value=2**32 - 1),
     )
-    def test_batched_equals_loop_per_trial(
-        self, group, space, samples, chunk, seed
-    ):
+    def test_batched_equals_loop_per_trial(self, group, space, samples, chunk, seed):
         """Exact equivalence: the streams match draw-for-draw."""
         engine = MonteCarloEngine(
             RandomCodesKernel(group, space), max_trials_per_chunk=chunk
@@ -248,8 +246,9 @@ class TestCaveYieldWrappers:
         decoder = decoder_for(spec, make_code("TC", 2, 8))
         new = sample_electrical_mask(decoder, np.random.default_rng(123))
         rng = np.random.default_rng(123)
-        vt = sample_region_vt(decoder.plan.nominal_vt(), decoder.nu, rng,
-                              decoder.sigma_t)
+        vt = sample_region_vt(
+            decoder.plan.nominal_vt(), decoder.nu, rng, decoder.sigma_t
+        )
         seed_mask = sampled_addressable_mask(vt, decoder.patterns, decoder.scheme)
         assert np.array_equal(new, seed_mask)
 
@@ -264,9 +263,7 @@ class TestCaveYieldWrappers:
         decoder = decoder_for(spec, make_code("TC", 2, 6))
         batch = sample_geometric_mask(decoder, np.random.default_rng(9), trials=7)
         rng = np.random.default_rng(9)
-        stacked = np.stack(
-            [sample_geometric_mask(decoder, rng) for _ in range(7)]
-        )
+        stacked = np.stack([sample_geometric_mask(decoder, rng) for _ in range(7)])
         assert np.array_equal(batch, stacked)
 
     def test_region_vt_trial_axis(self, binary_scheme, rng):
@@ -321,9 +318,7 @@ class TestCaveYieldEngine:
         for family, length in [("TC", 8), ("BGC", 10), ("HC", 6)]:
             code = make_code(family, 2, length)
             batched = simulate_cave_yield(spec, code, samples=4000, seed=17)
-            loop = simulate_cave_yield(
-                spec, code, samples=1000, seed=17, method="loop"
-            )
+            loop = simulate_cave_yield(spec, code, samples=1000, seed=17, method="loop")
             analytic = crossbar_yield(spec, code).cave_yield
             tol = 4 * (batched.stderr + loop.stderr)
             assert batched.mean_cave_yield == pytest.approx(
@@ -343,9 +338,7 @@ class TestCaveYieldEngine:
         for s in range(200):
             nominal = decoder.plan.nominal_vt()
             vt = sample_region_vt(nominal, decoder.nu, rng, decoder.sigma_t)
-            e_mask = sampled_addressable_mask(
-                vt, decoder.patterns, decoder.scheme
-            )
+            e_mask = sampled_addressable_mask(vt, decoder.patterns, decoder.scheme)
             g_mask = sample_geometric_mask(decoder, rng)
             cave[s] = (e_mask & g_mask).mean()
         assert mc.mean_cave_yield == pytest.approx(cave.mean(), rel=1e-12)
@@ -382,9 +375,7 @@ class TestValidation:
         with pytest.raises(ValueError):
             engine.run(0)
         with pytest.raises(ValueError):
-            MonteCarloEngine(
-                RandomCodesKernel(5, 5), max_trials_per_chunk=0
-            ).run(10)
+            MonteCarloEngine(RandomCodesKernel(5, 5), max_trials_per_chunk=0).run(10)
 
     def test_stochastic_entry_points_reject_bad_budgets(self):
         rng = np.random.default_rng(0)

@@ -67,16 +67,12 @@ class TestAnalyticEquivalence:
     def test_byte_identical_margins(self, family, n, length, nanowires):
         _, patterns, nu, scheme = margin_inputs(family, n, length, nanowires)
         for k_sigma in (0.0, 1.0, 3.0):
-            loop = select_margins(
-                patterns, nu, scheme, k_sigma=k_sigma, method="loop"
-            )
+            loop = select_margins(patterns, nu, scheme, k_sigma=k_sigma, method="loop")
             batched = select_margins(
                 patterns, nu, scheme, k_sigma=k_sigma, method="batched"
             )
             assert np.array_equal(loop, batched)
-            loop = block_margins(
-                patterns, nu, scheme, k_sigma=k_sigma, method="loop"
-            )
+            loop = block_margins(patterns, nu, scheme, k_sigma=k_sigma, method="loop")
             batched = block_margins(
                 patterns, nu, scheme, k_sigma=k_sigma, method="batched"
             )
@@ -115,9 +111,7 @@ class TestBatchedHelpers:
 
     def test_pair_block_matrix_inf_on_non_conflicts(self):
         patterns = np.array([[0, 1], [1, 0], [0, 1]])
-        pair = pair_block_matrix(
-            patterns, np.zeros(patterns.shape), LevelScheme(2)
-        )
+        pair = pair_block_matrix(patterns, np.zeros(patterns.shape), LevelScheme(2))
         assert np.isinf(pair.diagonal()).all()
         assert np.isinf(pair[0, 2]) and np.isinf(pair[2, 0])
         assert np.isfinite(pair[0, 1]) and np.isfinite(pair[1, 0])
@@ -172,9 +166,7 @@ class TestMarginYieldMonteCarlo:
         assert all(a >= b for a, b in zip(yields, yields[1:]))
 
     def test_single_sample_sem_guard(self):
-        mc = simulate_margin_yield(
-            self.SPEC, make_code("TC", 2, 6), samples=1, seed=0
-        )
+        mc = simulate_margin_yield(self.SPEC, make_code("TC", 2, 6), samples=1, seed=0)
         assert mc.samples == 1
         assert mc.stderr == 0.0
         assert mc.std_margin_yield == 0.0

@@ -1,0 +1,363 @@
+"""Tests for the batched readout engine (repro.sim.readout).
+
+Covers the contracts of the ``method="batched"`` paths:
+
+* loop-vs-batched equivalence across schemes, bank shapes and segment
+  resistances (byte-identical on the dense ideal path, sparse-solver
+  tolerance on the distributed path);
+* the ``segment_resistance = 0`` limit against the ideal solver;
+* block-RHS cell batches identical to per-cell solves;
+* seeded goldens for the ``readout`` sweep evaluator;
+* the batched CrossbarArray read paths against their scalar loops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.crossbar.readout import (
+    SCHEMES,
+    ReadoutError,
+    ReadoutModel,
+    margin_vs_bank_size,
+    max_bank_size,
+)
+from repro.crossbar.readout_distributed import DistributedReadout
+from repro.sim.readout import (
+    DistributedBank,
+    IdealBank,
+    distributed_laplacian,
+    ideal_laplacian,
+    scheme_margin_sweep,
+)
+
+SHAPES = ((1, 1), (3, 5), (8, 8), (5, 12))
+
+
+def random_states(shape, seed=0, density=0.5):
+    return np.random.default_rng(seed).random(shape) < density
+
+
+class TestStamping:
+    def test_ideal_laplacian_rows_sum_to_zero(self):
+        g = np.random.default_rng(3).random((6, 4)) + 0.1
+        lap = ideal_laplacian(g)
+        assert np.allclose(lap.sum(axis=0), 0.0)
+        assert np.allclose(lap.sum(axis=1), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_distributed_laplacian_rows_sum_to_zero(self):
+        g = np.random.default_rng(4).random((5, 3)) + 0.1
+        lap = distributed_laplacian(g, 2.0, 3.0).toarray()
+        assert np.allclose(lap.sum(axis=0), 0.0)
+        assert np.allclose(lap, lap.T)
+
+    def test_distributed_node_count(self):
+        lap = distributed_laplacian(np.ones((4, 7)), 1.0, 1.0)
+        assert lap.shape == (2 * 4 * 7, 2 * 4 * 7)
+
+
+class TestIdealEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("shape", SHAPES)
+    def test_single_cell_byte_identical(self, scheme, shape):
+        """The batched dense path reproduces the scalar loop bit for bit."""
+        states = random_states(shape, seed=hash(shape) % 1000)
+        loop = ReadoutModel(scheme=scheme, method="loop")
+        batched = ReadoutModel(scheme=scheme, method="batched")
+        rng = np.random.default_rng(1)
+        for _ in range(4):
+            row = int(rng.integers(shape[0]))
+            col = int(rng.integers(shape[1]))
+            assert loop.read_current(states, row, col) == batched.read_current(
+                states, row, col
+            )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_margin_sweep_byte_identical(self, scheme):
+        sizes = (2, 4, 8, 16)
+        loop = margin_vs_bank_size(ReadoutModel(scheme=scheme, method="loop"), sizes)
+        batched = margin_vs_bank_size(
+            ReadoutModel(scheme=scheme, method="batched"), sizes
+        )
+        assert loop == batched
+
+    def test_scheme_margin_sweep_matches_models(self):
+        sizes = (2, 4, 8)
+        sweep = scheme_margin_sweep(sizes)
+        for scheme in SCHEMES:
+            loop = ReadoutModel(scheme=scheme, method="loop")
+            assert sweep[scheme] == [loop.sense_margin(s, s) for s in sizes]
+
+    def test_max_bank_size_method_independent(self):
+        loop = ReadoutModel(method="loop")
+        batched = ReadoutModel(method="batched")
+        assert max_bank_size(loop, 0.2) == max_bank_size(batched, 0.2)
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ReadoutError):
+            ReadoutModel(method="weird")
+
+    def test_rejects_bad_sweep_size(self):
+        with pytest.raises(ReadoutError):
+            scheme_margin_sweep((4, 0))
+
+
+class TestIdealBlockRhs:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_block_matches_per_cell(self, scheme):
+        """One factorized block solve equals k independent solves."""
+        states = random_states((12, 9), seed=5)
+        model = ReadoutModel(scheme=scheme)
+        rng = np.random.default_rng(2)
+        cells = np.stack([rng.integers(12, size=25), rng.integers(9, size=25)], axis=1)
+        block = model.read_currents(states, cells)
+        per_cell = np.array(
+            [model.read_current(states, int(r), int(c)) for r, c in cells]
+        )
+        assert np.allclose(block, per_cell, rtol=1e-9)
+
+    def test_loop_method_read_currents(self):
+        states = random_states((4, 4), seed=6)
+        model = ReadoutModel(method="loop")
+        cells = [(0, 0), (3, 2), (0, 0)]
+        got = model.read_currents(states, cells)
+        want = [model.read_current(states, r, c) for r, c in cells]
+        assert list(got) == want
+
+    def test_single_pair_accepted(self):
+        states = random_states((3, 3), seed=7)
+        model = ReadoutModel()
+        got = model.read_currents(states, (1, 2))
+        assert got.shape == (1,)
+        assert got[0] == pytest.approx(model.read_current(states, 1, 2))
+
+    def test_rejects_out_of_bank_cells(self):
+        model = ReadoutModel()
+        with pytest.raises(ReadoutError):
+            model.read_currents(np.ones((3, 3), bool), [(0, 3)])
+
+    def test_shared_factorization_reused(self):
+        """The float LU is computed once per bank and reused."""
+        bank = IdealBank(ReadoutModel().conductances(random_states((6, 6))))
+        assert bank._lu is None
+        first = bank.read_currents("float", 0.5, [(0, 0)])
+        lu = bank._lu
+        assert lu is not None
+        second = bank.read_currents("float", 0.5, [(0, 0)])
+        assert bank._lu is lu
+        assert first[0] == second[0]
+
+
+class TestDistributedEquivalence:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    @pytest.mark.parametrize("segment", (0.0, 50.0, 500.0))
+    def test_single_cell_close(self, scheme, segment):
+        states = random_states((6, 6), seed=8)
+        kwargs = dict(
+            base=ReadoutModel(scheme=scheme),
+            row_segment_ohm=segment,
+            col_segment_ohm=segment,
+        )
+        loop = DistributedReadout(method="loop", **kwargs)
+        batched = DistributedReadout(method="batched", **kwargs)
+        for row, col in ((0, 0), (3, 4), (5, 5)):
+            a = loop.read_current(states, row, col)
+            b = batched.read_current(states, row, col)
+            assert b == pytest.approx(a, rel=1e-6)
+
+    def test_zero_segment_limit_matches_ideal(self):
+        ideal = ReadoutModel()
+        dist = DistributedReadout(base=ideal, row_segment_ohm=0.0, col_segment_ohm=0.0)
+        states = np.zeros((6, 6), dtype=bool)
+        states[2, 3] = True
+        assert dist.read_current(states, 2, 3) == pytest.approx(
+            ideal.read_current(states, 2, 3), rel=1e-3
+        )
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_block_matches_per_cell(self, scheme):
+        states = random_states((7, 5), seed=9)
+        dist = DistributedReadout(
+            base=ReadoutModel(scheme=scheme),
+            row_segment_ohm=200.0,
+            col_segment_ohm=120.0,
+        )
+        rng = np.random.default_rng(3)
+        cells = np.stack([rng.integers(7, size=12), rng.integers(5, size=12)], axis=1)
+        block = dist.read_currents(states, cells)
+        per_cell = np.array(
+            [dist.read_current(states, int(r), int(c)) for r, c in cells]
+        )
+        assert np.allclose(block, per_cell, rtol=1e-9)
+
+    def test_block_matches_loop_reference(self):
+        states = random_states((6, 6), seed=10)
+        cells = [(0, 0), (2, 4), (5, 1)]
+        batched = DistributedReadout(method="batched")
+        loop = DistributedReadout(method="loop")
+        assert np.allclose(
+            batched.read_currents(states, cells),
+            loop.read_currents(states, cells),
+            rtol=1e-6,
+        )
+
+    def test_position_sweep_methods_agree(self):
+        kwargs = dict(row_segment_ohm=300.0, col_segment_ohm=300.0)
+        loop = DistributedReadout(method="loop", **kwargs)
+        batched = DistributedReadout(method="batched", **kwargs)
+        for (pa, ia), (pb, ib) in zip(
+            loop.position_sweep(8), batched.position_sweep(8)
+        ):
+            assert pa == pb
+            assert ib == pytest.approx(ia, rel=1e-6)
+
+    def test_worst_case_margin_methods_agree(self):
+        kwargs = dict(row_segment_ohm=300.0, col_segment_ohm=300.0)
+        loop = DistributedReadout(method="loop", **kwargs)
+        batched = DistributedReadout(method="batched", **kwargs)
+        assert batched.worst_case_margin(8) == pytest.approx(
+            loop.worst_case_margin(8), rel=1e-6
+        )
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ReadoutError):
+            DistributedReadout(method="weird")
+
+    def test_one_by_one_bank(self):
+        states = np.array([[True]])
+        for scheme in SCHEMES:
+            dist = DistributedReadout(base=ReadoutModel(scheme=scheme))
+            got = dist.read_currents(states, [(0, 0)])[0]
+            assert got == pytest.approx(
+                DistributedReadout(
+                    base=ReadoutModel(scheme=scheme), method="loop"
+                ).read_current(states, 0, 0),
+                rel=1e-9,
+            )
+
+    def test_green_factorization_reused(self):
+        bank = DistributedBank(
+            ReadoutModel().conductances(random_states((5, 5))), 0.01, 0.01
+        )
+        bank.read_currents("float", 0.5, [(0, 0)])
+        green = bank._green
+        bank.read_currents("float", 0.5, [(4, 4)])
+        assert bank._green is green
+
+
+class TestReadoutEvaluator:
+    def run(self, metric="readout", **params):
+        from repro.exp.designpoint import DesignPoint
+        from repro.exp.pipeline import SweepParams, run_sweep
+
+        points = [
+            DesignPoint.make("TC", 6, nanowires=10),
+            DesignPoint.make("TC", 6, nanowires=20),
+        ]
+        return run_sweep(points, metrics=(metric,), params=SweepParams(**params))
+
+    def test_golden_margins(self):
+        """Seeded goldens of the readout evaluator (deterministic)."""
+        result = self.run()
+        records = result.to_records()
+        assert [r["ro_bank_wires"] for r in records] == [20, 40]
+        assert records[0]["ro_margin_float"] == pytest.approx(0.096525, rel=1e-6)
+        assert records[0]["ro_margin_ground"] == pytest.approx(0.99, rel=1e-9)
+        assert records[0]["ro_margin_half_v"] == pytest.approx(
+            0.0942857142857143, rel=1e-6
+        )
+        assert records[1]["ro_margin_float"] == pytest.approx(0.04888125, rel=1e-6)
+        assert [r["ro_max_float_bank"] for r in records] == [2, 2]
+        assert [r["ro_bank_ok"] for r in records] == [False, False]
+
+    def test_margins_match_direct_models(self):
+        result = self.run(ro_r_on=1.0e6, ro_r_off=1.0e8)
+        record = result.to_records()[0]
+        bank = record["ro_bank_wires"]
+        for scheme in SCHEMES:
+            model = ReadoutModel(r_on=1.0e6, r_off=1.0e8, scheme=scheme)
+            assert record[f"ro_margin_{scheme}"] == model.sense_margin(bank, bank)
+
+    def test_jobs_invariance(self):
+        from repro.exp.designpoint import DesignPoint
+        from repro.exp.pipeline import run_sweep
+
+        points = [DesignPoint.make("TC", 6, nanowires=10)]
+        serial = run_sweep(points, metrics=("readout",), jobs=1)
+        assert serial.to_records() == run_sweep(
+            points, metrics=("readout",), jobs=2
+        ).to_records()
+
+
+class TestArrayBatchedReads:
+    def make_array(self, seed=3):
+        from repro.codes.registry import make_code
+        from repro.crossbar.array import CrossbarArray
+        from repro.crossbar.spec import CrossbarSpec
+
+        spec = CrossbarSpec(raw_kilobytes=0.2)
+        space = make_code("TC", 2, 6)
+        array = CrossbarArray(spec, space, seed=seed)
+        rng = np.random.default_rng(seed)
+        side = array.shape[0]
+        rows, cols = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        array.write_pattern(rows.ravel(), cols.ravel(), rng.random(side * side) < 0.5)
+        return array
+
+    def accessible_cells(self, array, k=12, seed=4):
+        rng = np.random.default_rng(seed)
+        side = array.shape[0]
+        cells = [
+            (r, c)
+            for r in range(side)
+            for c in range(side)
+            if array.is_accessible(r, c)
+        ]
+        picks = rng.choice(len(cells), size=min(k, len(cells)), replace=True)
+        chosen = [cells[p] for p in picks]
+        return np.array([r for r, _ in chosen]), np.array([c for _, c in chosen])
+
+    def test_read_bits_matches_scalar(self):
+        array = self.make_array()
+        rows, cols = self.accessible_cells(array)
+        batched = array.read_bits(rows, cols)
+        scalar = [array.read_bit(int(r), int(c)) for r, c in zip(rows, cols)]
+        assert list(batched) == scalar
+
+    def test_read_margins_matches_scalar(self):
+        array = self.make_array()
+        rows, cols = self.accessible_cells(array)
+        batched = array.read_margins(rows, cols)
+        scalar = [array.read_margin(int(r), int(c)) for r, c in zip(rows, cols)]
+        assert np.allclose(batched, scalar, rtol=1e-9)
+
+    def test_read_bits_roundtrip(self):
+        array = self.make_array()
+        rows, cols = self.accessible_cells(array, k=20)
+        expected = array._states[rows, cols]
+        assert np.array_equal(array.read_bits(rows, cols), expected)
+
+    def test_read_bits_rejects_inaccessible(self):
+        from repro.crossbar.array import AddressingFault
+
+        array = self.make_array()
+        bad = np.nonzero(~array.defects.row_ok)[0]
+        if bad.size == 0:
+            pytest.skip("sampled instance has no defective rows")
+        rows, cols = self.accessible_cells(array, k=2)
+        with pytest.raises(AddressingFault):
+            array.read_bits(
+                np.concatenate([rows, bad[:1]]),
+                np.concatenate([cols, [0]]),
+            )
+
+    def test_write_pattern_skips_and_counts(self):
+        array = self.make_array()
+        rows, cols = self.accessible_cells(array, k=6)
+        written = array.write_pattern(
+            np.concatenate([rows, [-1]]),
+            np.concatenate([cols, [0]]),
+            np.ones(rows.size + 1, dtype=bool),
+        )
+        assert written == rows.size
+        assert array._states[rows, cols].all()

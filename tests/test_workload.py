@@ -84,7 +84,9 @@ class TestTraces:
     def test_bursty_has_locality(self):
         t = make_trace("bursty", 20_000, 10_000, seed=3, mean_burst=64)
         unit_steps = (np.diff(t.addresses) == 1).mean()
-        baseline = (np.diff(make_trace("uniform", 20_000, 10_000, seed=3).addresses) == 1).mean()
+        baseline = (
+        np.diff(make_trace("uniform", 20_000, 10_000, seed=3).addresses) == 1
+    ).mean()
         assert unit_steps > 0.5 > baseline
 
     def test_rejects_bad_parameters(self):
@@ -150,9 +152,7 @@ class TestFleetSampling:
     def test_instance_prefix_stable(self):
         small = small_fleet(instances=2, seed=7)
         large = small_fleet(instances=4, seed=7)
-        assert np.array_equal(
-            small.capacity_bits, large.capacity_bits[:2]
-        )
+        assert np.array_equal(small.capacity_bits, large.capacity_bits[:2])
 
     def test_remap_matches_scalar_memory(self):
         """The a-th working crosspoint rule matches CrossbarMemory."""
@@ -165,9 +165,7 @@ class TestFleetSampling:
         for j in range(trace.accesses):
             if trace.is_write[j]:
                 mem.write(int(trace.addresses[j]), bool(trace.values[j]))
-        assert np.array_equal(
-            result.final_state[0], mem.raw_state().ravel()
-        )
+        assert np.array_equal(result.final_state[0], mem.raw_state().ravel())
 
     def test_rejects_empty_and_mixed_geometry(self):
         with pytest.raises(ValueError):
@@ -198,12 +196,13 @@ class TestEquivalence:
         space = fleet.suggested_address_space() + 40  # force some failures
         trace = make_trace(kind, 3000, space, seed=3)
         batched = fleet.run(
-            trace, method="batched", chunk_size=251,
-            collect_reads=True, collect_state=True,
+            trace,
+            method="batched",
+            chunk_size=251,
+            collect_reads=True,
+            collect_state=True,
         )
-        loop = fleet.run(
-            trace, method="loop", collect_reads=True, collect_state=True
-        )
+        loop = fleet.run(trace, method="loop", collect_reads=True, collect_state=True)
         assert_runs_equal(batched, loop)
 
     def test_ecc_mode_byte_identical(self):
@@ -212,12 +211,21 @@ class TestEquivalence:
         trace = make_trace("uniform", 1500, space, seed=3)
         for p in (0.0, 0.03):
             batched = fleet.run(
-                trace, method="batched", chunk_size=177, seed=9,
-                write_error_rate=p, collect_reads=True, collect_state=True,
+                trace,
+                method="batched",
+                chunk_size=177,
+                seed=9,
+                write_error_rate=p,
+                collect_reads=True,
+                collect_state=True,
             )
             loop = fleet.run(
-                trace, method="loop", seed=9, write_error_rate=p,
-                collect_reads=True, collect_state=True,
+                trace,
+                method="loop",
+                seed=9,
+                write_error_rate=p,
+                collect_reads=True,
+                collect_state=True,
             )
             assert_runs_equal(batched, loop)
 
@@ -225,26 +233,44 @@ class TestEquivalence:
         fleet = small_fleet()
         trace = make_trace("uniform", 2000, fleet.suggested_address_space(), seed=4)
         batched = fleet.run(
-            trace, chunk_size=499, seed=11, write_error_rate=0.05,
-            collect_reads=True, collect_state=True,
+            trace,
+            chunk_size=499,
+            seed=11,
+            write_error_rate=0.05,
+            collect_reads=True,
+            collect_state=True,
         )
         loop = fleet.run(
-            trace, method="loop", seed=11, write_error_rate=0.05,
-            collect_reads=True, collect_state=True,
+            trace,
+            method="loop",
+            seed=11,
+            write_error_rate=0.05,
+            collect_reads=True,
+            collect_state=True,
         )
         assert_runs_equal(batched, loop)
 
     @pytest.mark.parametrize("chunk", [1, 7, 64, 1000, 10_000])
     def test_chunk_size_invariance(self, chunk):
         fleet = small_fleet()
-        trace = make_trace("zipfian", 3000, fleet.suggested_address_space() + 20, seed=6)
+        trace = make_trace(
+        "zipfian", 3000, fleet.suggested_address_space() + 20, seed=6
+    )
         reference = fleet.run(
-            trace, chunk_size=3000, seed=2, write_error_rate=0.01,
-            collect_reads=True, collect_state=True,
+            trace,
+            chunk_size=3000,
+            seed=2,
+            write_error_rate=0.01,
+            collect_reads=True,
+            collect_state=True,
         )
         other = fleet.run(
-            trace, chunk_size=chunk, seed=2, write_error_rate=0.01,
-            collect_reads=True, collect_state=True,
+            trace,
+            chunk_size=chunk,
+            seed=2,
+            write_error_rate=0.01,
+            collect_reads=True,
+            collect_state=True,
         )
         assert_runs_equal(reference, other)
 
@@ -357,8 +383,10 @@ class TestWorkloadEvaluator:
             spec=SMALL_SPEC,
             metrics=("workload",),
             params=SweepParams(
-                wl_accesses=2000, wl_instances=2,
-                wl_ecc=True, wl_error_rate=0.02,
+                wl_accesses=2000,
+                wl_instances=2,
+                wl_ecc=True,
+                wl_error_rate=0.02,
             ),
         )
         assert record["wl_corrected_mean"] > 0
@@ -388,8 +416,19 @@ class TestMemsimCli:
 
     def test_memsim_table(self, capsys):
         code, out = self.run_cli(
-            capsys, "--raw-kb", "0.5", "memsim", "BGC", "-M", "8",
-            "--accesses", "2000", "--instances", "2", "--seed", "4",
+            capsys,
+            "--raw-kb",
+            "0.5",
+            "memsim",
+            "BGC",
+            "-M",
+            "8",
+            "--accesses",
+            "2000",
+            "--instances",
+            "2",
+            "--seed",
+            "4",
         )
         assert code == 0
         assert "effective_capacity_bits" in out
@@ -399,9 +438,22 @@ class TestMemsimCli:
         import json
 
         code, out = self.run_cli(
-            capsys, "--raw-kb", "0.5", "memsim", "BGC", "-M", "8",
-            "--accesses", "1000", "--instances", "2", "--ecc",
-            "--error-rate", "0.001", "--format", "json",
+            capsys,
+            "--raw-kb",
+            "0.5",
+            "memsim",
+            "BGC",
+            "-M",
+            "8",
+            "--accesses",
+            "1000",
+            "--instances",
+            "2",
+            "--ecc",
+            "--error-rate",
+            "0.001",
+            "--format",
+            "json",
         )
         assert code == 0
         payload = json.loads(out)
@@ -410,8 +462,18 @@ class TestMemsimCli:
 
     def test_memsim_methods_agree(self, capsys):
         args = (
-            "--raw-kb", "0.5", "memsim", "BGC", "-M", "8",
-            "--accesses", "1000", "--instances", "2", "--format", "json",
+            "--raw-kb",
+            "0.5",
+            "memsim",
+            "BGC",
+            "-M",
+            "8",
+            "--accesses",
+            "1000",
+            "--instances",
+            "2",
+            "--format",
+            "json",
         )
         _, batched = self.run_cli(capsys, *args, "--method", "batched")
         _, loop = self.run_cli(capsys, *args, "--method", "loop")
@@ -424,9 +486,21 @@ class TestMemsimCli:
 
     def test_sweep_seed_changes_workload(self, capsys):
         base = (
-            "--raw-kb", "0.5", "sweep", "--families", "BGC", "--lengths", "8",
-            "--metric", "workload", "--wl-accesses", "300",
-            "--wl-instances", "2", "--format", "csv",
+            "--raw-kb",
+            "0.5",
+            "sweep",
+            "--families",
+            "BGC",
+            "--lengths",
+            "8",
+            "--metric",
+            "workload",
+            "--wl-accesses",
+            "300",
+            "--wl-instances",
+            "2",
+            "--format",
+            "csv",
         )
         _, a = self.run_cli(capsys, *base, "--seed", "0")
         _, b = self.run_cli(capsys, *base, "--seed", "1")
