@@ -92,4 +92,19 @@ else
 fi
 
 echo
+echo "== workload-readout perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: hot-set zipfian trace read electrically on a
+    # 64x64 platform, >= 10x vs the per-access scalar sensing loop
+    python -m pytest -q benchmarks/bench_workload_readout.py
+else
+    # smaller trace/fleet with a loose floor so container noise cannot
+    # flake it; correctness gates (electrical loop equivalence, bank
+    # cache effectiveness) run at full strictness either way
+    READOUT_WL_BENCH_ACCESSES=10000 READOUT_WL_BENCH_INSTANCES=4 \
+    READOUT_WL_BENCH_LOOP_ACCESSES=1000 READOUT_WL_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_workload_readout.py
+fi
+
+echo
 echo "ok — reports in benchmarks/output/"

@@ -244,6 +244,21 @@ def build_parser() -> argparse.ArgumentParser:
         "corrected/uncorrectable counts)",
     )
     p.add_argument(
+        "--wl-readout",
+        default="off",
+        choices=["off", "float", "ground", "half_v"],
+        help="resolve the workload metric's reads electrically "
+        "under this biasing scheme (default off: ideal lookups); "
+        "reuses the --ro-r-on/--ro-r-off crosspoint technology",
+    )
+    p.add_argument(
+        "--wl-resolution",
+        type=float,
+        default=0.0,
+        help="sense-amplifier resolution for --wl-readout as a "
+        "relative margin floor in [0, 1) (default 0)",
+    )
+    p.add_argument(
         "--ro-r-on",
         type=float,
         default=1.0e5,
@@ -394,6 +409,45 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["batched", "loop"],
         help="vectorised engine (default) or the scalar "
         "per-access reference loop (byte-identical)",
+    )
+    p.add_argument(
+        "--readout",
+        nargs="?",
+        const="float",
+        default=None,
+        choices=["float", "ground", "half_v"],
+        help="resolve reads electrically through the sneak-path "
+        "solver under this biasing scheme (bare --readout means "
+        "float); adds misread/margin/ECC-masking metrics and the "
+        "bank-cache statistics",
+    )
+    p.add_argument(
+        "--r-on",
+        type=float,
+        default=1.0e5,
+        help="crosspoint ON resistance for --readout [ohm] "
+        "(default 1e5)",
+    )
+    p.add_argument(
+        "--r-off",
+        type=float,
+        default=1.0e7,
+        help="crosspoint OFF resistance for --readout [ohm] "
+        "(default 1e7)",
+    )
+    p.add_argument(
+        "--v-read",
+        type=float,
+        default=0.5,
+        help="read voltage for --readout [V] (default 0.5)",
+    )
+    p.add_argument(
+        "--resolution",
+        type=float,
+        default=0.0,
+        help="sense-amplifier resolution for --readout as a "
+        "relative margin floor in [0, 1); stored bits whose "
+        "margin falls below it misread (default 0, ideal)",
     )
     p.add_argument(
         "--format",
@@ -645,6 +699,8 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             wl_instances=args.wl_instances,
             wl_ecc=args.wl_ecc,
             wl_error_rate=args.wl_error_rate,
+            wl_readout=args.wl_readout,
+            wl_resolution=args.wl_resolution,
             wl_seed=args.seed,
             ro_r_on=args.ro_r_on,
             ro_r_off=args.ro_r_off,
@@ -722,7 +778,13 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
 
     from repro.codes.registry import make_code
     from repro.crossbar.ecc import SecdedCode
-    from repro.workload import FLEET_METRICS, exhausted_fraction, prepare_workload
+    from repro.workload import (
+        ELECTRICAL_METRICS,
+        FLEET_METRICS,
+        ElectricalReadout,
+        exhausted_fraction,
+        prepare_workload,
+    )
 
     code = make_code(args.family, args.valence, args.length)
     fleet, trace = prepare_workload(
@@ -737,6 +799,19 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         address_space=args.address_space,
     )
     address_space = trace.address_space
+    readout = None
+    if args.readout is not None:
+        from repro.crossbar.readout import ReadoutModel
+
+        readout = ElectricalReadout(
+            model=ReadoutModel(
+                r_on=args.r_on,
+                r_off=args.r_off,
+                v_read=args.v_read,
+                scheme=args.readout,
+            ),
+            resolution=args.resolution,
+        )
     start = perf_counter()
     result = fleet.run(
         trace,
@@ -744,8 +819,10 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         chunk_size=args.chunk_size,
         seed=args.seed,
         write_error_rate=args.error_rate,
+        readout=readout,
     )
     elapsed = perf_counter() - start
+    metric_names = FLEET_METRICS + (ELECTRICAL_METRICS if result.electrical else ())
 
     if args.format == "json":
         payload = {
@@ -764,10 +841,19 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
                     "std": result[name].std,
                     "stderr": result[name].stderr,
                 }
-                for name in FLEET_METRICS
+                for name in metric_names
             },
             "exhausted_fraction": exhausted_fraction(result.per_instance),
         }
+        if result.electrical:
+            payload["readout"] = {
+                "scheme": readout.model.scheme,
+                "r_on": readout.model.r_on,
+                "r_off": readout.model.r_off,
+                "v_read": readout.model.v_read,
+                "resolution": readout.resolution,
+            }
+            payload["bank_cache"] = result.cache
         return _json.dumps(payload, indent=2)
 
     rows = [
@@ -778,12 +864,28 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         ["method", args.method],
         ["fleet accesses/s", f"{trace.accesses * fleet.instances / elapsed:,.0f}"],
     ]
-    for name in FLEET_METRICS:
+    if result.electrical:
+        rows.insert(
+            4,
+            [
+                "readout",
+                f"{readout.model.scheme} (resolution {readout.resolution})",
+            ],
+        )
+    for name in metric_names:
         s = result[name]
-        rows.append([name, f"{s.mean:,.2f} +- {s.std:,.2f}"])
+        rows.append([name, f"{s.mean:,.4g} +- {s.std:,.4g}"])
     rows.append(
         ["exhausted instances", f"{100 * exhausted_fraction(result.per_instance):.0f}%"]
     )
+    if result.electrical and result.cache is not None:
+        rows.append(
+            [
+                "bank cache",
+                f"{result.cache['hits']} hits / {result.cache['misses']} misses "
+                f"({100 * result.cache['hit_rate']:.0f}%)",
+            ]
+        )
     return render_table(["figure", "value"], rows)
 
 

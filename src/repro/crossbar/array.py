@@ -26,6 +26,7 @@ from repro.crossbar.defects import DefectMap, sample_defect_map
 from repro.crossbar.readout import ReadoutModel
 from repro.crossbar.spec import CrossbarSpec
 from repro.decoder.addressmap import AddressMap, WireAddress
+from repro.sim.readout import BankCache, IdealBank, state_digest
 
 
 class AddressingFault(RuntimeError):
@@ -45,6 +46,10 @@ class CrossbarArray:
         Seed for sampling the physical instance (defects).
     readout:
         Electrical read-out model; defaults to the floating scheme.
+    defects:
+        Optional pre-sampled defect map (e.g. a fleet instance's map,
+        so the workload engine's scalar reference touches the *same*
+        physical crossbar); sampled from ``seed`` when omitted.
     """
 
     def __init__(
@@ -53,14 +58,26 @@ class CrossbarArray:
         space: CodeSpace,
         seed: int = 0,
         readout: ReadoutModel | None = None,
+        defects: DefectMap | None = None,
     ) -> None:
         self.spec = spec
         self.space = space
         self.readout = readout or ReadoutModel()
         self.address_map = AddressMap(spec, space)
-        self.defects: DefectMap = sample_defect_map(spec, space, seed=seed)
+        self.defects: DefectMap = (
+            sample_defect_map(spec, space, seed=seed) if defects is None else defects
+        )
         side = spec.side_nanowires
+        if self.defects.shape != (side, side):
+            raise ValueError(
+                f"defect map shape {self.defects.shape} does not match the "
+                f"({side}, {side}) crosspoint grid"
+            )
         self._states = np.zeros((side, side), dtype=bool)
+        # state-keyed factorization cache: batched reads key each bank's
+        # stamped/factorized solver on a digest of its state block, so
+        # banks that are quiescent between read batches skip re-stamping
+        self._bank_cache = BankCache(max_banks=64)
 
     # -- addressing --------------------------------------------------------------
 
@@ -133,6 +150,8 @@ class CrossbarArray:
         i_if_on = self.readout.read_current(ref, r_local, c_local)
         ref[r_local, c_local] = False
         i_if_off = self.readout.read_current(ref, r_local, c_local)
+        if i_if_on <= 0:
+            raise AddressingFault("non-positive reference current")
         return abs(current - i_if_on) < abs(current - i_if_off)
 
     def _bank_groups(self, rows: np.ndarray, cols: np.ndarray):
@@ -160,15 +179,43 @@ class CrossbarArray:
         The measured currents — and the reference whose forced state
         matches the cell's actual state — come from *one* factorized
         block-RHS solve per bank (the bank Laplacian depends only on
-        the state map, not on the selected cell); only the opposite
-        reference needs a per-cell modified bank.
+        the state map, not on the selected cell).  Under the batched
+        ideal model the bank solver is memoized in the array's
+        state-keyed :class:`~repro.sim.readout.BankCache` and the
+        opposite reference is a Sherman-Morrison rank-1 update of the
+        same factorization (toggling one crosspoint perturbs the bank
+        Laplacian by one conductance delta), so dual-reference sensing
+        costs no per-cell re-stamping at all.  Loop-method models — and
+        non-ideal readout objects — keep the per-cell modified-bank
+        reference path.
         """
         currents = np.empty(rows.size)
         i_on = np.empty(rows.size)
         i_off = np.empty(rows.size)
+        model = self.readout
+        rank1 = type(model) is ReadoutModel and model.method == "batched"
         for (r0, c0), local, idx in self._bank_groups(rows, cols):
             per = self.address_map.wires_per_cave
             bank = self._states[r0 : r0 + per, c0 : c0 + per]
+            if rank1:
+                solver = self._bank_cache.get(
+                    b"ideal:" + state_digest(bank),
+                    lambda bank=bank: IdealBank(model.conductances(bank)),
+                )
+                measured = solver.read_currents(model.scheme, model.v_read, local)
+                stored = bank[local[:, 0], local[:, 1]]
+                # toggled conductance minus current conductance: OFF
+                # cells gain (g_on - g_off), ON cells lose it
+                delta = (1.0 / model.r_on - 1.0 / model.r_off) * np.where(
+                    stored, -1.0, 1.0
+                )
+                other = solver.toggled_currents(
+                    model.scheme, model.v_read, local, measured, delta
+                )
+                currents[idx] = measured
+                i_on[idx] = np.where(stored, measured, other)
+                i_off[idx] = np.where(stored, other, measured)
+                continue
             measured = self.readout.read_currents(bank, local)
             currents[idx] = measured
             for pos, t in enumerate(idx):
@@ -197,6 +244,8 @@ class CrossbarArray:
         for r, c in zip(rows, cols):
             self._check_access(int(r), int(c))
         currents, i_on, i_off = self._reference_currents(rows, cols)
+        if np.any(i_on <= 0):
+            raise AddressingFault("non-positive reference current")
         return np.abs(currents - i_on) < np.abs(currents - i_off)
 
     def read_margins(self, rows, cols) -> np.ndarray:
@@ -258,11 +307,37 @@ class CrossbarArray:
         ok = (rows >= 0) & (rows < n_rows) & (cols >= 0) & (cols < n_cols)
         ok[ok] &= self.defects.row_ok[rows[ok]] & self.defects.col_ok[cols[ok]]
         # duplicate crosspoints resolve last-write-wins, as in the
-        # sequential loop this replaces
-        self._states[rows[ok], cols[ok]] = bits[ok]
+        # sequential loop this replaces; NumPy leaves duplicate-index
+        # fancy assignment unordered, so keep each crosspoint's last
+        # write explicitly (stable sort by crosspoint, last per run)
+        flat = rows[ok].astype(np.int64) * n_cols + cols[ok]
+        if flat.size:
+            order = np.argsort(flat, kind="stable")
+            flat_s = flat[order]
+            keep = np.empty(flat_s.size, dtype=bool)
+            keep[:-1] = flat_s[1:] != flat_s[:-1]
+            keep[-1] = True
+            self._states.reshape(-1)[flat_s[keep]] = bits[ok][order][keep]
         return int(ok.sum())
 
+    def stored_bit(self, row: int, col: int) -> bool:
+        """Programmed state of one crosspoint (no electrical sensing).
+
+        The ground truth a sensed read is compared against when
+        counting sneak-path misreads.
+        """
+        self._check_access(row, col)
+        return bool(self._states[row, col])
+
+    def raw_state(self) -> np.ndarray:
+        """Copy of the raw crosspoint bit matrix (unusable positions too)."""
+        return self._states.copy()
+
     # -- reporting ---------------------------------------------------------------
+
+    def bank_cache_stats(self) -> dict:
+        """Hit/miss counters of the state-keyed factorization cache."""
+        return self._bank_cache.stats()
 
     def accessible_fraction(self) -> float:
         """Fraction of crosspoints with both wires addressable."""

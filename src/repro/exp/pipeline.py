@@ -44,7 +44,11 @@ class SweepParams:
     point, so capacity shortfalls against the analytic promise show up
     as access failures.  The ``ro_*`` knobs set the crosspoint
     technology and margin floor of the ``readout`` metric (sneak-path
-    sense margins of the cave-sized bank).
+    sense margins of the cave-sized bank).  ``wl_readout`` switches the
+    workload metric's reads to electrical sensing under the named
+    biasing scheme (``"off"`` keeps ideal lookups), reusing the
+    ``ro_*`` crosspoint technology with ``wl_resolution`` as the
+    sense-amplifier floor.
     """
 
     mc_samples: int = 256
@@ -59,6 +63,8 @@ class SweepParams:
     wl_ecc: bool = False
     wl_error_rate: float = 0.0
     wl_address_space: int = 0
+    wl_readout: str = "off"
+    wl_resolution: float = 0.0
     ro_r_on: float = 1.0e5
     ro_r_off: float = 1.0e7
     ro_v_read: float = 0.5
@@ -217,7 +223,11 @@ def _eval_workload(
     and sweeps stay byte-reproducible at any ``jobs``.
     """
     from repro.crossbar.ecc import SecdedCode
-    from repro.workload import exhausted_fraction, prepare_workload
+    from repro.workload import (
+        ElectricalReadout,
+        exhausted_fraction,
+        prepare_workload,
+    )
 
     fleet, trace = prepare_workload(
         spec,
@@ -230,13 +240,27 @@ def _eval_workload(
         ecc=SecdedCode() if params.wl_ecc else None,
         address_space=params.wl_address_space,
     )
+    readout = None
+    if params.wl_readout != "off":
+        from repro.crossbar.readout import ReadoutModel
+
+        readout = ElectricalReadout(
+            model=ReadoutModel(
+                r_on=params.ro_r_on,
+                r_off=params.ro_r_off,
+                v_read=params.ro_v_read,
+                scheme=params.wl_readout,
+            ),
+            resolution=params.wl_resolution,
+        )
     r = fleet.run(
         trace,
         chunk_size=params.mc_chunk,
         seed=params.wl_seed,
         write_error_rate=params.wl_error_rate,
+        readout=readout,
     )
-    return {
+    columns = {
         "wl_trace": trace.name,
         "wl_accesses": trace.accesses,
         "wl_instances": fleet.instances,
@@ -250,6 +274,18 @@ def _eval_workload(
         "wl_corrected_mean": r["corrected"].mean,
         "wl_uncorrectable_mean": r["uncorrectable"].mean,
     }
+    if r.electrical:
+        columns.update(
+            {
+                "wl_readout": params.wl_readout,
+                "wl_misread_rate_mean": r["misread_rate"].mean,
+                "wl_margin_mean": r["margin_mean"].mean,
+                "wl_margin_min_mean": r["margin_min"].mean,
+                "wl_ecc_masked_mean": r["ecc_masked_misreads"].mean,
+                "wl_cache_hit_rate": r.cache["hit_rate"],
+            }
+        )
+    return columns
 
 
 @functools.lru_cache(maxsize=None)

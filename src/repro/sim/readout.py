@@ -39,17 +39,23 @@ single-cell dense path reproduces the scalar loop bit for bit.
 
 from __future__ import annotations
 
+import hashlib
+from collections import OrderedDict
+from typing import Callable
+
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import splu
 
 __all__ = [
+    "BankCache",
     "DistributedBank",
     "IdealBank",
     "distributed_laplacian",
     "ideal_laplacian",
     "scheme_margin_sweep",
+    "state_digest",
 ]
 
 
@@ -75,6 +81,96 @@ def _as_cells(cells, rows: int, cols: int) -> tuple[np.ndarray, np.ndarray]:
     if arr.size and (r.min() < 0 or r.max() >= rows or c.min() < 0 or c.max() >= cols):
         raise _readout_error(f"cell batch selects outside the ({rows}, {cols}) bank")
     return r, c
+
+
+# -- state-keyed factorization bank cache --------------------------------------
+
+
+def state_digest(block: np.ndarray) -> bytes:
+    """Digest of a bank's state (or conductance) block.
+
+    The stamped Laplacian — and every factorization and solve derived
+    from it — is a pure function of the block's dtype, shape and bytes,
+    so this digest fully identifies a bank.  Engines key their
+    long-lived banks on it (:class:`BankCache`) instead of keeping
+    mutable references that could go stale.
+    """
+    block = np.ascontiguousarray(block)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((block.dtype.str, block.shape)).encode())
+    h.update(block.tobytes())
+    return h.digest()
+
+
+class BankCache:
+    """State-keyed factorization cache with hit/miss counters (LRU).
+
+    Stamping and factorizing a bank is the expensive part of a read;
+    the bank itself is immutable once built (its arrays are frozen), so
+    a digest of the state block (:func:`state_digest`) fully identifies
+    the stamped Laplacian, its ``lu_factor`` / ``splu`` / ``_biased``
+    factorizations, and any memoized per-cell solves.  Engines that
+    read the same banks across chunks — the common case under zipfian
+    traffic, where most banks are quiescent between reads — key their
+    banks here and skip re-stamping and re-factorization entirely.
+
+    Entries are arbitrary bank objects (:class:`IdealBank`,
+    :class:`DistributedBank`, or engine-private wrappers); eviction is
+    least-recently-used beyond ``max_banks``.
+    """
+
+    def __init__(self, max_banks: int = 1024) -> None:
+        if max_banks < 1:
+            raise _readout_error(f"cache needs max_banks >= 1, got {max_banks}")
+        self.max_banks = int(max_banks)
+        self._banks: OrderedDict[bytes, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._banks)
+
+    def get(self, key: bytes, factory: Callable[[], object]):
+        """The bank stored under ``key``, building it on first use.
+
+        Cached banks are deterministic functions of their state block,
+        so a hit returns bit-identical figures to a fresh build — the
+        cache changes cost, never results.
+        """
+        bank = self._banks.get(key)
+        if bank is not None:
+            self.hits += 1
+            self._banks.move_to_end(key)
+            return bank
+        self.misses += 1
+        bank = factory()
+        self._banks[key] = bank
+        while len(self._banks) > self.max_banks:
+            self._banks.popitem(last=False)
+            self.evictions += 1
+        return bank
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total lookups (0.0 before any lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Counter snapshot for fleet-metric reporting."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "banks": len(self._banks),
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached bank and reset the counters."""
+        self._banks.clear()
+        self.hits = self.misses = self.evictions = 0
 
 
 # -- vectorized Laplacian stamping ---------------------------------------------
@@ -155,13 +251,25 @@ class IdealBank:
     :meth:`read_current` (byte-compatible with the scalar loop) and
     batched cell sets through :meth:`read_currents` (one dense LU
     factorization, block RHS).
+
+    ``g`` and ``lap`` are private copies frozen with
+    ``setflags(write=False)``: the lazily cached factorization (and the
+    per-cell solve memo) would silently go stale if either array were
+    mutated after the first solve, so a bank is immutable by
+    construction — re-stamp a new bank (or fetch one from a
+    :class:`BankCache`) for a new state.
     """
 
     def __init__(self, g: np.ndarray) -> None:
-        self.g = np.asarray(g, dtype=float)
+        g = np.array(g, dtype=float)
+        g.setflags(write=False)
+        self.g = g
         self.rows, self.cols = self.g.shape
-        self.lap = ideal_laplacian(self.g)
+        lap = ideal_laplacian(self.g)
+        lap.setflags(write=False)
+        self.lap = lap
         self._lu = None
+        self._cell_memo: dict[tuple, float] = {}
 
     # -- single cell (scalar-loop compatible arithmetic) -----------------------
 
@@ -170,8 +278,14 @@ class IdealBank:
 
         The free/fixed reduction, dense solve and sense-current
         accumulation replicate the reference arithmetic exactly — only
-        the Laplacian stamping is vectorized.
+        the Laplacian stamping is vectorized.  Results are memoized per
+        ``(scheme, v_read, cell)`` (the bank is immutable), so repeated
+        reads of a cached bank skip the solve.
         """
+        memo_key = (scheme, float(v_read), int(row), int(col))
+        cached = self._cell_memo.get(memo_key)
+        if cached is not None:
+            return cached
         rows, cols = self.rows, self.cols
         sense = rows + col
         fixed: dict[int, float] = {row: v_read, sense: 0.0}
@@ -205,7 +319,9 @@ class IdealBank:
         current = 0.0
         for i in range(rows):
             current += self.g[i, col] * (voltages[i] - voltages[sense])
-        return float(current)
+        result = float(current)
+        self._cell_memo[memo_key] = result
+        return result
 
     # -- batched cells (one factorization, block RHS) --------------------------
 
@@ -247,6 +363,46 @@ class IdealBank:
         r_eff = green[p, ip] + green[q, iq] - green[p, iq] - green[q, ip]
         return v_read / r_eff
 
+    # -- rank-1 reference updates (Sherman-Morrison) ---------------------------
+
+    def toggled_currents(
+        self,
+        scheme: str,
+        v_read: float,
+        cells,
+        measured: np.ndarray,
+        delta_g: np.ndarray,
+    ) -> np.ndarray:
+        """Sense currents after perturbing each cell's conductance.
+
+        Toggling one crosspoint is a rank-1 perturbation ``delta_g *
+        w w^T`` of the bank Laplacian (``w = e_row - e_col_node``), and
+        in the ideal bank the perturbed branch spans the two read
+        terminals themselves — the driven row and the virtual-ground
+        column.  The Sherman-Morrison update therefore collapses to a
+        closed form for every scheme, ``i' = i + v_read * delta_g``:
+
+        * ``float``: the branch sits in parallel with the rest of the
+          two-terminal network, so ``1/R'_eff = 1/R_eff + delta_g``;
+        * ``ground`` / ``half_v``: the bank is fully constrained, so
+          every other branch keeps its voltage drop and only the
+          perturbed branch's current changes, by ``v_read * delta_g``.
+
+        Dual-reference sensing thus costs *zero* extra solves per cell
+        on top of the measured block solve, instead of a fresh modified
+        bank per cell.  Agrees with a re-stamped bank within solver
+        tolerance (the update is exact in real arithmetic).
+        """
+        r, c = _as_cells(cells, self.rows, self.cols)
+        measured = np.asarray(measured, dtype=float)
+        delta_g = np.broadcast_to(np.asarray(delta_g, dtype=float), r.shape)
+        if measured.shape != r.shape:
+            raise _readout_error(
+                f"measured currents shape {measured.shape} does not match "
+                f"the {r.size}-cell batch"
+            )
+        return measured + v_read * delta_g
+
 
 # -- distributed-line bank solver ----------------------------------------------
 
@@ -268,12 +424,19 @@ class DistributedBank:
     def __init__(
         self, g: np.ndarray, row_segment_g: float, col_segment_g: float
     ) -> None:
-        self.g = np.asarray(g, dtype=float)
+        g = np.array(g, dtype=float)
+        g.setflags(write=False)
+        self.g = g
         self.rows, self.cols = self.g.shape
         self.row_segment_g = float(row_segment_g)
         self.col_segment_g = float(col_segment_g)
         self.n_nodes = 2 * self.rows * self.cols
         self.lap = distributed_laplacian(self.g, row_segment_g, col_segment_g)
+        # the lazily cached splu factorizations below must never go
+        # stale: freeze the CSR buffers like the dense bank freezes g/lap
+        self.lap.data.setflags(write=False)
+        self.lap.indices.setflags(write=False)
+        self.lap.indptr.setflags(write=False)
         self._green = None
         self._biased = None
 
@@ -333,6 +496,54 @@ class DistributedBank:
         iq = np.searchsorted(nodes, q)
         r_eff = green[p, ip] + green[q, iq] - green[p, iq] - green[q, ip]
         return v_read / r_eff
+
+    def toggled_currents(
+        self,
+        scheme: str,
+        v_read: float,
+        cells,
+        measured: np.ndarray,
+        delta_g: np.ndarray,
+    ) -> np.ndarray:
+        """Float-scheme sense currents after perturbing each cell (rank-1).
+
+        Unlike the ideal bank, the perturbed branch spans the cell's
+        two *interior* crossing nodes ``a = rnode(r, c)``, ``b =
+        cnode(r, c)`` — not the read terminals ``s = rnode(r, 0)``,
+        ``t = cnode(0, c)`` — so the update needs the full
+        Sherman-Morrison transfer form on the Green's function ``G``::
+
+            R'_eff(s, t) = R_eff(s, t)
+                - delta_g * (u^T G w)^2 / (1 + delta_g * w^T G w)
+
+        with ``u = e_s - e_t`` and ``w = e_a - e_b``: two extra Green's
+        columns per cell on the *same* ``splu`` factorization, instead
+        of a fresh factorization of the modified bank.  The biased
+        schemes fix interior-adjacent nodes and are not a two-terminal
+        problem, so they fall back to a re-stamped bank (raises).
+        """
+        if scheme != "float":
+            raise _readout_error(
+                "rank-1 toggled currents support the float scheme only; "
+                "re-stamp the bank for biased schemes"
+            )
+        r, c = _as_cells(cells, self.rows, self.cols)
+        delta_g = np.broadcast_to(np.asarray(delta_g, dtype=float), r.shape)
+        s = r * self.cols
+        t = self.rows * self.cols + c
+        a = r * self.cols + c
+        b = self.rows * self.cols + r * self.cols + c
+        nodes = np.unique(np.concatenate([s, t, a, b]))
+        green = self._green_columns(nodes)
+        i_s = np.searchsorted(nodes, s)
+        i_t = np.searchsorted(nodes, t)
+        i_a = np.searchsorted(nodes, a)
+        i_b = np.searchsorted(nodes, b)
+        r_eff = green[s, i_s] + green[t, i_t] - green[s, i_t] - green[t, i_s]
+        u_gw = green[s, i_a] - green[s, i_b] - green[t, i_a] + green[t, i_b]
+        w_gw = green[a, i_a] + green[b, i_b] - green[a, i_b] - green[b, i_a]
+        r_new = r_eff - delta_g * u_gw**2 / (1.0 + delta_g * w_gw)
+        return v_read / r_new
 
     def _biased_currents(
         self, scheme: str, v_read: float, r: np.ndarray, c: np.ndarray

@@ -12,6 +12,10 @@ traffic instead of wire-level yield alone:
   logical→physical remap tables once per instance, and executes whole
   traces as vectorised gather/scatter chunks (optional SECDED repair),
   with a scalar ``method="loop"`` reference that is byte-identical;
+* :mod:`repro.workload.electrical` — the electrical read mode: reads
+  resolve through the sneak-path readout solver via a state-keyed
+  factorization bank cache, so misreads, margins and ECC masking come
+  from actual sneak-path currents;
 * :mod:`repro.workload.metrics` — effective capacity, access-failure
   rate, spare-exhaustion point and ECC repair counters as
   Welford-accumulated fleet statistics.
@@ -20,6 +24,7 @@ See README.md ("Workload engine") for the data flow and the
 reproducibility contract.
 """
 
+from repro.workload.electrical import ElectricalReadout
 from repro.workload.memory_batch import (
     FleetResult,
     MemoryFleet,
@@ -27,7 +32,9 @@ from repro.workload.memory_batch import (
     prepare_workload,
 )
 from repro.workload.metrics import (
+    ELECTRICAL_METRICS,
     FLEET_METRICS,
+    electrical_metrics,
     exhausted_fraction,
     per_instance_metrics,
     summarize_fleet,
@@ -44,7 +51,9 @@ from repro.workload.traces import (
 )
 
 __all__ = [
+    "ELECTRICAL_METRICS",
     "FLEET_METRICS",
+    "ElectricalReadout",
     "FleetResult",
     "MemoryFleet",
     "TRACE_GENERATORS",
@@ -52,6 +61,7 @@ __all__ = [
     "TraceError",
     "analytic_address_space",
     "bursty_trace",
+    "electrical_metrics",
     "exhausted_fraction",
     "make_trace",
     "per_instance_metrics",

@@ -135,6 +135,14 @@ class FleetResult:
     ``final_state`` (``collect_state=True``) the ``(instances,
     raw_bits)`` stored-bit matrix; both are what the equivalence suite
     compares byte-for-byte across methods and chunk sizes.
+
+    Electrical runs (``readout=`` given, see
+    :mod:`repro.workload.electrical`) set ``electrical`` and add the
+    per-read-bit ``margins`` matrix (``collect_margins=True``; NaN for
+    failed reads), the per-instance ``margin_hist`` counts over
+    ``margin_edges``, and the bank-cache ``cache`` statistics —
+    ``cache`` depends on chunk boundaries and is excluded from the
+    byte-identity contract.
     """
 
     trace_name: str
@@ -147,6 +155,11 @@ class FleetResult:
     summary: Mapping[str, MetricSummary]
     read_bits: np.ndarray | None = None
     final_state: np.ndarray | None = None
+    electrical: bool = False
+    margins: np.ndarray | None = None
+    margin_hist: np.ndarray | None = None
+    margin_edges: np.ndarray | None = None
+    cache: Mapping[str, float] | None = None
 
     def __getitem__(self, name: str) -> MetricSummary:
         return self.summary[name]
@@ -165,6 +178,12 @@ class MemoryFleet:
         addresses: each write encodes its data bit into a stored block,
         each read decodes (correcting single bit errors) and returns
         the first payload bit.
+    spec, space:
+        Platform specification and address code the maps were sampled
+        from.  Optional for ideal runs; required by the electrical
+        read mode (``run(readout=...)``), which needs the cave-sized
+        bank geometry and the scalar :class:`~repro.crossbar.array.
+        CrossbarArray` reference.  :meth:`sample` records both.
     """
 
     def __init__(
@@ -172,6 +191,8 @@ class MemoryFleet:
         defect_maps: Sequence[DefectMap],
         *,
         ecc: SecdedCode | None = None,
+        spec: CrossbarSpec | None = None,
+        space: CodeSpace | None = None,
     ) -> None:
         if not defect_maps:
             raise ValueError("a fleet needs at least one instance")
@@ -182,6 +203,8 @@ class MemoryFleet:
             )
         self._maps = list(defect_maps)
         self._ecc = ecc
+        self._spec = spec
+        self._space = space
         self._remaps = [np.flatnonzero(dm.working.ravel()) for dm in self._maps]
         rows, cols = self._maps[0].shape
         self._raw_bits = rows * cols
@@ -221,7 +244,7 @@ class MemoryFleet:
             )
             for rng in streams
         ]
-        return cls(maps, ecc=ecc)
+        return cls(maps, ecc=ecc, spec=spec, space=space)
 
     # -- geometry ------------------------------------------------------------
 
@@ -234,6 +257,16 @@ class MemoryFleet:
     def ecc(self) -> SecdedCode | None:
         """The SECDED code in use, or None in raw-bit mode."""
         return self._ecc
+
+    @property
+    def spec(self) -> CrossbarSpec | None:
+        """Platform specification the fleet was sampled from, if known."""
+        return self._spec
+
+    @property
+    def space(self) -> CodeSpace | None:
+        """Address code the fleet was sampled from, if known."""
+        return self._space
 
     @property
     def raw_bits(self) -> int:
@@ -278,6 +311,8 @@ class MemoryFleet:
         write_error_rate: float = 0.0,
         collect_reads: bool = False,
         collect_state: bool = False,
+        readout=None,
+        collect_margins: bool = False,
     ) -> FleetResult:
         """Execute ``trace`` on every instance; aggregate fleet metrics.
 
@@ -296,6 +331,15 @@ class MemoryFleet:
             Per-stored-bit flip probability applied at write time
             (noisy writes); ECC mode corrects single-bit flips per
             block and counts double errors as uncorrectable.
+        readout:
+            Optional :class:`~repro.workload.electrical.
+            ElectricalReadout`: resolve every read through the
+            sneak-path solver instead of ideal state lookups (misread
+            and margin metrics added; requires a fleet sampled with
+            ``spec``/``space``).
+        collect_margins:
+            With ``readout``, attach the per-read-bit margin matrix to
+            the result.
         """
         if not 0.0 <= write_error_rate <= 1.0:
             raise ValueError(
@@ -307,6 +351,18 @@ class MemoryFleet:
             if write_error_rate > 0
             else [None] * self.instances
         )
+        if readout is not None:
+            return self._run_electrical(
+                trace,
+                method,
+                chunk_size,
+                err_streams,
+                write_error_rate,
+                readout,
+                collect_reads,
+                collect_state,
+                collect_margins,
+            )
         if method == "batched":
             return self._run_batched(
                 trace,
@@ -320,6 +376,66 @@ class MemoryFleet:
             raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
         return self._run_loop(
             trace, err_streams, write_error_rate, collect_reads, collect_state
+        )
+
+    # -- electrical path -------------------------------------------------------
+
+    def _run_electrical(
+        self,
+        trace: Trace,
+        method: str,
+        chunk_size: int,
+        err_streams: Sequence[np.random.Generator | None],
+        p: float,
+        readout,
+        collect_reads: bool,
+        collect_state: bool,
+        collect_margins: bool,
+    ) -> FleetResult:
+        from repro.workload.electrical import (
+            ElectricalReadout,
+            run_electrical_batched,
+            run_electrical_loop,
+        )
+
+        if not isinstance(readout, ElectricalReadout):
+            raise TypeError(
+                f"readout must be an ElectricalReadout, got {type(readout).__name__}"
+            )
+        if self._spec is None or self._space is None:
+            raise ValueError(
+                "electrical read mode needs a fleet sampled with spec/space "
+                "(use MemoryFleet.sample or pass spec=/space= explicitly)"
+            )
+        side = self._spec.side_nanowires
+        if self._maps[0].shape != (side, side):
+            raise ValueError(
+                f"defect map shape {self._maps[0].shape} does not match the "
+                f"({side}, {side}) crosspoint grid of the given spec"
+            )
+        if method == "batched":
+            return run_electrical_batched(
+                self,
+                trace,
+                chunk_size,
+                err_streams,
+                p,
+                readout,
+                collect_reads,
+                collect_state,
+                collect_margins,
+            )
+        if method != "loop":
+            raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
+        return run_electrical_loop(
+            self,
+            trace,
+            err_streams,
+            p,
+            readout,
+            collect_reads,
+            collect_state,
+            collect_margins,
         )
 
     # -- batched path ---------------------------------------------------------
@@ -566,6 +682,13 @@ class MemoryFleet:
         uncorrectable: np.ndarray,
         read_bits: np.ndarray | None,
         final_state: np.ndarray | None,
+        *,
+        extra_metrics: Mapping[str, np.ndarray] | None = None,
+        margins: np.ndarray | None = None,
+        margin_hist: np.ndarray | None = None,
+        margin_edges: np.ndarray | None = None,
+        cache: Mapping[str, float] | None = None,
+        electrical: bool = False,
     ) -> FleetResult:
         from repro.workload.metrics import per_instance_metrics, summarize_fleet
 
@@ -578,6 +701,8 @@ class MemoryFleet:
             corrected=corrected,
             uncorrectable=uncorrectable,
         )
+        if extra_metrics:
+            per_instance.update(extra_metrics)
         return FleetResult(
             trace_name=trace.name,
             accesses=trace.accesses,
@@ -589,4 +714,9 @@ class MemoryFleet:
             summary=summarize_fleet(per_instance),
             read_bits=read_bits,
             final_state=final_state,
+            electrical=electrical,
+            margins=margins,
+            margin_hist=margin_hist,
+            margin_edges=margin_edges,
+            cache=cache,
         )

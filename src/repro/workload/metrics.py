@@ -23,6 +23,20 @@ Metrics
     instance served before its capacity shortfall first bit.
 ``corrected`` / ``uncorrectable``
     SECDED repair counters (zero in raw mode).
+
+Electrical runs (:mod:`repro.workload.electrical`) add the sensing
+metrics of :data:`ELECTRICAL_METRICS`:
+
+``sensed_bits`` / ``misread_bits`` / ``misread_rate``
+    Electrically sensed stored bits, how many of them misread
+    (sneak-path margin below the sense resolution), and the ratio.
+``misread_reads`` / ``ecc_masked_misreads`` / ``ecc_masked_misread_rate``
+    Read accesses touched by at least one bit misread, how many of
+    those still returned the correct value after SECDED decoding, and
+    the masked fraction.
+``margin_min`` / ``margin_mean``
+    Extremes of the per-read-bit dual-reference margin distribution
+    (1.0 / 0.0 when no bits were sensed).
 """
 
 from __future__ import annotations
@@ -42,6 +56,48 @@ FLEET_METRICS = (
     "corrected",
     "uncorrectable",
 )
+
+#: Additional metric names of an electrical run, in reporting order.
+ELECTRICAL_METRICS = (
+    "sensed_bits",
+    "misread_bits",
+    "misread_rate",
+    "misread_reads",
+    "ecc_masked_misreads",
+    "ecc_masked_misread_rate",
+    "margin_min",
+    "margin_mean",
+)
+
+
+def electrical_metrics(
+    *,
+    sensed_bits: np.ndarray,
+    misread_bits: np.ndarray,
+    misread_reads: np.ndarray,
+    ecc_masked_misreads: np.ndarray,
+    margin_min: np.ndarray,
+    margin_mean: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Assemble the per-instance electrical sensing metric arrays.
+
+    The rate denominators are clamped to 1 so instances that sensed
+    nothing (all accesses failed) report clean zeros.
+    """
+    sensed = np.asarray(sensed_bits, dtype=np.int64)
+    misread = np.asarray(misread_bits, dtype=np.int64)
+    touched = np.asarray(misread_reads, dtype=np.int64)
+    masked = np.asarray(ecc_masked_misreads, dtype=np.int64)
+    return {
+        "sensed_bits": sensed,
+        "misread_bits": misread,
+        "misread_rate": misread / np.maximum(sensed, 1),
+        "misread_reads": touched,
+        "ecc_masked_misreads": masked,
+        "ecc_masked_misread_rate": masked / np.maximum(touched, 1),
+        "margin_min": np.asarray(margin_min, dtype=float),
+        "margin_mean": np.asarray(margin_mean, dtype=float),
+    }
 
 
 def per_instance_metrics(

@@ -136,3 +136,101 @@ class TestWritePattern:
     def test_shape_mismatch_raises(self, array):
         with pytest.raises(ValueError):
             array.write_pattern(np.arange(3), np.arange(2), np.ones(3, bool))
+
+    def test_duplicate_crosspoints_last_write_wins(self, array, rng):
+        """Regression: duplicate-index scatter must keep the *last*
+        write per crosspoint, not whatever NumPy fancy-assignment
+        happens to apply (satellite bugfix)."""
+        base = [accessible_cell(array, start_row=k) for k in (0, 5, 11)]
+        idx = rng.integers(0, len(base), size=40)
+        rows = np.array([base[i][0] for i in idx])
+        cols = np.array([base[i][1] for i in idx])
+        bits = rng.random(40) < 0.5
+        written = array.write_pattern(rows, cols, bits)
+        assert written == 40
+        expected = {}
+        for r, c, b in zip(rows, cols, bits):
+            expected[(int(r), int(c))] = bool(b)
+        for (r, c), b in expected.items():
+            assert array.stored_bit(r, c) == b
+
+    def test_alternating_duplicates_settle_on_last(self, array):
+        r, c = accessible_cell(array)
+        n = 9
+        assert (
+            array.write_pattern(
+                np.full(n, r), np.full(n, c), np.arange(n) % 2 == 0
+            )
+            == n
+        )
+        assert array.stored_bit(r, c) is True  # last bit: index 8, even
+
+
+class _ZeroCurrentReadout:
+    """Duck-typed readout whose reference currents collapse to zero."""
+
+    def read_current(self, states, row, col):
+        return 0.0
+
+    def read_currents(self, states, cells):
+        return np.zeros(len(np.asarray(cells).reshape(-1, 2)))
+
+
+class TestReferenceCurrentGuards:
+    """Regression: read_bit and read_bits must both reject a
+    non-positive reference current, like read_margin(s) always did
+    (satellite bugfix)."""
+
+    def make_dead_array(self):
+        from repro.crossbar.spec import CrossbarSpec
+
+        dead = CrossbarArray(
+            CrossbarSpec(raw_kilobytes=0.2), make_code("TC", 2, 6), seed=3
+        )
+        dead.readout = _ZeroCurrentReadout()
+        return dead
+
+    def test_read_bit_rejects_nonpositive_reference(self):
+        dead = self.make_dead_array()
+        r, c = accessible_cell(dead)
+        with pytest.raises(AddressingFault, match="non-positive reference"):
+            dead.read_bit(r, c)
+
+    def test_read_bits_rejects_nonpositive_reference(self):
+        dead = self.make_dead_array()
+        r, c = accessible_cell(dead)
+        with pytest.raises(AddressingFault, match="non-positive reference"):
+            dead.read_bits([r], [c])
+
+    def test_read_margin_paths_reject_nonpositive_reference(self):
+        dead = self.make_dead_array()
+        r, c = accessible_cell(dead)
+        with pytest.raises(AddressingFault, match="non-positive reference"):
+            dead.read_margin(r, c)
+        with pytest.raises(AddressingFault, match="non-positive reference"):
+            dead.read_margins([r], [c])
+
+
+class TestFleetDefectInjection:
+    def test_injected_defects_are_used(self):
+        from repro.crossbar.defects import DefectMap
+        from repro.crossbar.spec import CrossbarSpec
+
+        spec = CrossbarSpec(raw_kilobytes=0.2)
+        side = spec.side_nanowires
+        row_ok = np.ones(side, dtype=bool)
+        row_ok[0] = False
+        dm = DefectMap(row_ok=row_ok, col_ok=np.ones(side, dtype=bool))
+        arr = CrossbarArray(spec, make_code("TC", 2, 6), defects=dm)
+        assert not arr.is_accessible(0, 0)
+        assert arr.is_accessible(1, 0)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.crossbar.defects import DefectMap
+        from repro.crossbar.spec import CrossbarSpec
+
+        dm = DefectMap(
+            row_ok=np.ones(4, dtype=bool), col_ok=np.ones(4, dtype=bool)
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            CrossbarArray(CrossbarSpec(raw_kilobytes=0.2), make_code("TC", 2, 6), defects=dm)

@@ -23,11 +23,13 @@ from repro.crossbar.readout import (
 )
 from repro.crossbar.readout_distributed import DistributedReadout
 from repro.sim.readout import (
+    BankCache,
     DistributedBank,
     IdealBank,
     distributed_laplacian,
     ideal_laplacian,
     scheme_margin_sweep,
+    state_digest,
 )
 
 SHAPES = ((1, 1), (3, 5), (8, 8), (5, 12))
@@ -361,3 +363,125 @@ class TestArrayBatchedReads:
         )
         assert written == rows.size
         assert array._states[rows, cols].all()
+
+
+class TestBankCacheUnit:
+    def test_hit_miss_and_lru_eviction(self):
+        cache = BankCache(max_banks=2)
+        assert cache.get(b"a", lambda: "A") == "A"
+        assert cache.get(b"a", lambda: "other") == "A"
+        cache.get(b"b", lambda: "B")
+        cache.get(b"c", lambda: "C")  # evicts "a", the least recent
+        assert cache.get(b"a", lambda: "A*") == "A*"
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 4
+        assert stats["evictions"] == 2
+        assert stats["banks"] == len(cache) == 2
+        assert stats["hit_rate"] == pytest.approx(0.2)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ReadoutError):
+            BankCache(max_banks=0)
+
+    def test_state_digest_keys_content_shape_and_dtype(self):
+        a = np.zeros((2, 3), dtype=bool)
+        assert state_digest(a) == state_digest(a.copy())
+        assert state_digest(a) != state_digest(a.reshape(3, 2))
+        assert state_digest(a) != state_digest(a.astype(np.int8))
+        b = a.copy()
+        b[0, 0] = True
+        assert state_digest(a) != state_digest(b)
+
+    def test_state_digest_of_views(self):
+        """Digesting a non-contiguous bank view matches its dense copy."""
+        big = random_states((8, 8), seed=13)
+        view = big[2:6, 1:7]
+        assert state_digest(view) == state_digest(view.copy())
+
+
+class TestBankImmutability:
+    """Regression: a mutated-then-read bank cannot serve a stale
+    factorization — bank arrays are frozen copies (satellite bugfix)."""
+
+    def test_ideal_bank_arrays_frozen(self):
+        bank = IdealBank(ReadoutModel().conductances(random_states((5, 5))))
+        bank.read_currents("float", 0.5, [(0, 0)])
+        with pytest.raises(ValueError):
+            bank.g[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            bank.lap[0, 0] = 99.0
+
+    def test_distributed_bank_arrays_frozen(self):
+        bank = DistributedBank(
+            ReadoutModel().conductances(random_states((4, 4))), 1.0e4, 1.0e4
+        )
+        bank.read_currents("float", 0.5, [(0, 0)])
+        with pytest.raises(ValueError):
+            bank.g[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            bank.lap.data[0] = 99.0
+
+    def test_external_mutation_cannot_stale_cached_solves(self):
+        """The bank copies its input, so the caller's array stays free."""
+        g = ReadoutModel().conductances(random_states((5, 5), seed=11))
+        bank = IdealBank(g)
+        before = bank.read_currents("float", 0.5, [(2, 2)])[0]
+        g[:] = 1.0
+        after = bank.read_currents("float", 0.5, [(2, 2)])[0]
+        assert after == before
+        assert IdealBank(g).read_currents("float", 0.5, [(2, 2)])[0] != before
+
+
+class TestDegenerateTies:
+    """Regression: batched and scalar sensing must agree even when
+    R_on/R_off degenerate to (nearly) identical conductances."""
+
+    def run_pair(self, r_off, r_on=1.0e5):
+        from repro.codes.registry import make_code
+        from repro.crossbar.array import CrossbarArray
+        from repro.crossbar.spec import CrossbarSpec
+
+        model = ReadoutModel(r_on=r_on, r_off=r_off)
+        spec = CrossbarSpec(raw_kilobytes=0.2)
+        space = make_code("TC", 2, 6)
+        array = CrossbarArray(spec, space, seed=3, readout=model)
+        rng = np.random.default_rng(3)
+        side = array.shape[0]
+        rows, cols = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+        array.write_pattern(rows.ravel(), cols.ravel(), rng.random(side * side) < 0.5)
+        cells = [
+            (r, c)
+            for r in range(side)
+            for c in range(side)
+            if array.is_accessible(r, c)
+        ][:16]
+        rr = np.array([r for r, _ in cells])
+        cc = np.array([c for _, c in cells])
+        batched = array.read_bits(rr, cc)
+        scalar = [array.read_bit(int(r), int(c)) for r, c in cells]
+        return batched, scalar
+
+    def test_equal_conductance_tie_reads_off(self):
+        """R_off > R_on but 1/R_off == 1/R_on: a perfect tie reads 0."""
+        pair = None
+        for r_on in (1.0e5, 2.3e5, 3.1e5, 4.7e5, 6.1e5):
+            r_off = np.nextafter(r_on, np.inf)
+            for _ in range(64):
+                if 1.0 / r_off == 1.0 / r_on:
+                    pair = (r_on, float(r_off))
+                    break
+                r_off = np.nextafter(r_off, np.inf)
+            if pair:
+                break
+        assert pair is not None, "no double pair with identical reciprocals"
+        batched, scalar = self.run_pair(pair[1], r_on=pair[0])
+        assert not batched.any()
+        assert list(batched) == scalar
+
+    @pytest.mark.parametrize("gap", (1.0 + 1e-12, 1.0 + 1e-9))
+    def test_near_degenerate_methods_agree(self, gap):
+        batched, scalar = self.run_pair(1.0e5 * gap)
+        assert list(batched) == scalar
