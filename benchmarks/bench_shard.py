@@ -1,0 +1,145 @@
+"""SHARD — distributed plan/run/merge vs the single-pool MC engine.
+
+Runs one million-trial k-sigma margin-yield Monte-Carlo two ways:
+
+* **single pool** — :func:`repro.crossbar.montecarlo.simulate_margin_yield`
+  on one host (the batched engine, one accumulator);
+* **shard fleet** — ``repro.dist`` plans the same trial budget into
+  ``SHARD_BENCH_SHARDS`` stream-block-range shards, runs each shard,
+  and merges the per-block moment states back together.
+
+The headline gate is the **fleet wall clock**: the critical path a
+one-host-per-shard fleet would take, ``plan + max(per-shard elapsed) +
+merge``.  Shards execute sequentially here so each shard's elapsed time
+is an honest single-host measurement even on a 1-CPU container; on an
+N-core host ``repro shard launch`` overlaps them for real.
+
+Correctness is gated before any timing is trusted:
+
+* the merged result must equal the single-pool result **exactly**
+  (dataclass ``==``: every float bit-identical) — the byte-identity
+  acceptance criterion at the benchmark's full trial count;
+* deleting one shard's result file and re-launching must re-run only
+  that shard (checkpoint resume) and merge to the same exact result.
+
+Environment knobs (see ``run_checks.sh``):
+
+* ``SHARD_BENCH_TRIALS``      — total MC trials       (default 1000000)
+* ``SHARD_BENCH_SHARDS``      — fleet size            (default 4)
+* ``SHARD_BENCH_MIN_SPEEDUP`` — asserted fleet floor  (default 3.0)
+"""
+
+import os
+import time
+
+from repro.analysis.report import render_table
+from repro.codes.registry import make_code
+from repro.crossbar.montecarlo import simulate_margin_yield
+from repro.dist import launch, merge_results, plan_mc_shards, run_shard_file, write_job
+from repro.dist.manifest import results_dir_for, shards_dir_for
+
+TRIALS = int(os.environ.get("SHARD_BENCH_TRIALS", 1_000_000))
+SHARDS = int(os.environ.get("SHARD_BENCH_SHARDS", 4))
+MIN_SPEEDUP = float(os.environ.get("SHARD_BENCH_MIN_SPEEDUP", 3.0))
+
+FAMILY, LENGTH, SEED, K_SIGMA = "BGC", 8, 0, 3.0
+
+
+def test_shard_fleet_speedup(benchmark, emit, emit_json, spec, tmp_path):
+    code = make_code(FAMILY, 2, LENGTH)
+    job_dir = tmp_path / "job"
+
+    def run_single():
+        return simulate_margin_yield(
+            spec, code, samples=TRIALS, seed=SEED, k_sigma=K_SIGMA
+        )
+
+    def run_fleet():
+        start = time.perf_counter()
+        plan = plan_mc_shards(
+            "marginmc",
+            FAMILY,
+            LENGTH,
+            shards=SHARDS,
+            samples=TRIALS,
+            spec=spec,
+            seed=SEED,
+            k_sigma=K_SIGMA,
+        )
+        write_job(job_dir, plan)
+        plan_s = time.perf_counter() - start
+        shard_times = []
+        for shard in plan.shards:
+            doc = run_shard_file(shards_dir_for(job_dir) / shard.file_name)
+            shard_times.append(doc["elapsed_s"])
+        start = time.perf_counter()
+        merged = merge_results(job_dir)
+        merge_s = time.perf_counter() - start
+        return plan_s, shard_times, merge_s, merged
+
+    def run_all():
+        start = time.perf_counter()
+        single = run_single()
+        single_s = time.perf_counter() - start
+        plan_s, shard_times, merge_s, merged = run_fleet()
+        return single_s, single, plan_s, shard_times, merge_s, merged
+
+    single_s, single, plan_s, shard_times, merge_s, merged = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # correctness gate: exact equality at the full trial count
+    assert merged == single, "sharded merge diverged from the single-pool run"
+
+    # resume gate: lose one shard's result, re-launch, re-run only it
+    victim = 1 if SHARDS > 1 else 0
+    results = sorted(results_dir_for(job_dir).iterdir())
+    results[victim].unlink()
+    report = launch(job_dir, workers=1)
+    assert report.ran == (victim,), f"resume re-ran {report.ran}, not ({victim},)"
+    assert len(report.skipped) == len(shard_times) - 1
+    assert merge_results(job_dir) == single
+
+    fleet_wall_s = plan_s + max(shard_times) + merge_s
+    fleet_speedup = single_s / fleet_wall_s
+    overhead_s = plan_s + merge_s
+
+    rows = [
+        ["single pool", f"{single_s:.2f} s", "1.0x"],
+        [
+            f"fleet critical path ({len(shard_times)} shards)",
+            f"{fleet_wall_s:.2f} s",
+            f"{fleet_speedup:.1f}x",
+        ],
+        ["  plan + merge overhead", f"{1000 * overhead_s:.0f} ms", ""],
+        ["  slowest shard", f"{max(shard_times):.2f} s", ""],
+        ["  total shard compute", f"{sum(shard_times):.2f} s", ""],
+    ]
+    emit(
+        "shard_fleet_speedup",
+        f"Sharded margin-yield MC vs single pool "
+        f"({TRIALS:,} trials, {FAMILY} M={LENGTH})\n"
+        + render_table(["path", "wall clock", "speedup"], rows),
+    )
+    emit_json(
+        "shard",
+        {
+            "trials": TRIALS,
+            "shards": len(shard_times),
+            "min_speedup": MIN_SPEEDUP,
+            "single_pool_s": single_s,
+            "plan_s": plan_s,
+            "merge_s": merge_s,
+            "slowest_shard_s": max(shard_times),
+            "total_shard_s": sum(shard_times),
+            "fleet_wall_s": fleet_wall_s,
+            "fleet_speedup": fleet_speedup,
+            "merge_trials_per_s": TRIALS / merge_s if merge_s else 0.0,
+        },
+    )
+
+    assert fleet_speedup >= MIN_SPEEDUP, (
+        f"fleet critical path only {fleet_speedup:.1f}x faster than the "
+        f"single pool at {TRIALS:,} trials over {len(shard_times)} shards "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

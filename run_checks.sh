@@ -107,4 +107,20 @@ else
 fi
 
 echo
+echo "== shard perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: million-trial margin-yield MC over 4 shards,
+    # fleet critical path (plan + slowest shard + merge) >= 3x the
+    # single pool; merged result byte-identical, resume re-runs only
+    # the lost shard
+    python -m pytest -q benchmarks/bench_shard.py
+else
+    # smaller trial budget with a loose floor so container noise
+    # cannot flake it; correctness gates (exact merge equality,
+    # checkpoint resume) run at full strictness either way
+    SHARD_BENCH_TRIALS=100000 SHARD_BENCH_MIN_SPEEDUP=2 \
+    python -m pytest -q benchmarks/bench_shard.py
+fi
+
+echo
 echo "ok — reports in benchmarks/output/"

@@ -16,6 +16,10 @@ Examples
     python -m repro memsim BGC -M 10 --ecc --error-rate 0.001 --format json
     python -m repro readout --scheme all --sizes 4,8,16,32,64
     python -m repro sweep --metric readout --axis nanowires=10,20,40
+    python -m repro shard plan sweep job/ --shards 4 --metric yield,area
+    python -m repro shard launch job/ --workers 4
+    python -m repro shard merge job/ --format csv
+    python -m repro shard plan marginmc job/ BGC -M 8 --samples 1000000
     python -m repro headline
     python -m repro theorems
     python -m repro baselines
@@ -48,94 +52,8 @@ from repro.crossbar.spec import CrossbarSpec
 from repro.decoder.stochastic import compare_with_deterministic
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The full argument parser (exposed for tests and docs)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduction of 'Decoding Nanowire Arrays Fabricated with "
-            "the Multi-Spacer Patterning Technique' (DAC 2009)."
-        ),
-    )
-    parser.add_argument(
-        "--raw-kb",
-        type=float,
-        default=16.0,
-        help="raw crossbar density in kB (default 16)",
-    )
-    parser.add_argument(
-        "--nanowires",
-        type=int,
-        default=20,
-        help="nanowires per half cave (default 20)",
-    )
-    parser.add_argument(
-        "--sigma-t",
-        type=float,
-        default=0.05,
-        help="per-dose VT std deviation in V (default 0.05)",
-    )
-    parser.add_argument(
-        "--window-margin",
-        type=float,
-        default=1.0,
-        help="addressability window margin (default 1.0)",
-    )
-    parser.add_argument(
-        "--contact-gap",
-        type=float,
-        default=1.0,
-        help="contact dead gap in litho pitches (default 1.0)",
-    )
-
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("info", help="show the platform specification")
-
-    for fig in ("fig5", "fig6", "fig7", "fig8"):
-        p = sub.add_parser(fig, help=f"regenerate paper {fig.capitalize()}")
-        p.add_argument("--csv", help="also write the series to this CSV file")
-        p.add_argument("--json", help="also write the data to this JSON file")
-
-    p = sub.add_parser("evaluate", help="evaluate one decoder design")
-    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
-    p.add_argument(
-        "-M",
-        "--length",
-        type=int,
-        required=True,
-        help="total code length (doping regions)",
-    )
-    p.add_argument(
-        "-n",
-        "--valence",
-        type=int,
-        default=2,
-        help="logic valence (default 2)",
-    )
-
-    p = sub.add_parser("optimize", help="explore the design space")
-    p.add_argument(
-        "--objective",
-        default="bit_area",
-        choices=["complexity", "variability", "yield", "bit_area"],
-    )
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for the exploration (0 = auto)",
-    )
-
-    p = sub.add_parser(
-        "sweep",
-        help="design-space sweep on the evaluation pipeline",
-        description=(
-            "Evaluate a full-factorial grid of design points "
-            "(families x lengths x spec axes) through the parallel, "
-            "cached exp pipeline and print a columnar result."
-        ),
-    )
+def _add_grid_args(p: argparse.ArgumentParser) -> None:
+    """Design-grid arguments shared by ``sweep`` and ``shard plan sweep``."""
     p.add_argument(
         "--families",
         default=",".join(["TC", "GC", "BGC", "HC", "AHC"]),
@@ -155,13 +73,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="logic valence (default 2)",
     )
     p.add_argument(
-        "--metric",
-        default="yield",
-        help="comma-separated metrics: yield,area,complexity,"
-        "margins,marginmc,montecarlo,readout,workload "
-        "(default yield)",
-    )
-    p.add_argument(
         "--axis",
         action="append",
         default=[],
@@ -169,20 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="spec-override axis, e.g. --axis sigma_t=0.04,0.05 "
         "(repeatable; crossed with the code grid)",
     )
+
+
+def _add_metric_args(p: argparse.ArgumentParser) -> None:
+    """Metric selection and evaluator tuning knobs of sweep-style commands."""
     p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes (1 = serial, 0 = auto); results "
-        "are identical for any value",
+        "--metric",
+        default="yield",
+        help="comma-separated metrics: yield,area,complexity,"
+        "margins,marginmc,montecarlo,readout,workload "
+        "(default yield)",
     )
-    p.add_argument(
-        "--format",
-        default="table",
-        choices=["table", "csv", "json"],
-        help="output format (default table)",
-    )
-    p.add_argument("--output", help="write the formatted result to this file")
     p.add_argument(
         "--mc-samples",
         type=int,
@@ -279,6 +187,112 @@ def build_parser() -> argparse.ArgumentParser:
         help="sense-margin floor for the readout metric's "
         "max-bank-size figure (default 0.5)",
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Decoding Nanowire Arrays Fabricated with "
+            "the Multi-Spacer Patterning Technique' (DAC 2009)."
+        ),
+    )
+    parser.add_argument(
+        "--raw-kb",
+        type=float,
+        default=16.0,
+        help="raw crossbar density in kB (default 16)",
+    )
+    parser.add_argument(
+        "--nanowires",
+        type=int,
+        default=20,
+        help="nanowires per half cave (default 20)",
+    )
+    parser.add_argument(
+        "--sigma-t",
+        type=float,
+        default=0.05,
+        help="per-dose VT std deviation in V (default 0.05)",
+    )
+    parser.add_argument(
+        "--window-margin",
+        type=float,
+        default=1.0,
+        help="addressability window margin (default 1.0)",
+    )
+    parser.add_argument(
+        "--contact-gap",
+        type=float,
+        default=1.0,
+        help="contact dead gap in litho pitches (default 1.0)",
+    )
+
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show the platform specification")
+
+    for fig in ("fig5", "fig6", "fig7", "fig8"):
+        p = sub.add_parser(fig, help=f"regenerate paper {fig.capitalize()}")
+        p.add_argument("--csv", help="also write the series to this CSV file")
+        p.add_argument("--json", help="also write the data to this JSON file")
+
+    p = sub.add_parser("evaluate", help="evaluate one decoder design")
+    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument(
+        "-M",
+        "--length",
+        type=int,
+        required=True,
+        help="total code length (doping regions)",
+    )
+    p.add_argument(
+        "-n",
+        "--valence",
+        type=int,
+        default=2,
+        help="logic valence (default 2)",
+    )
+
+    p = sub.add_parser("optimize", help="explore the design space")
+    p.add_argument(
+        "--objective",
+        default="bit_area",
+        choices=["complexity", "variability", "yield", "bit_area"],
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the exploration (0 = auto)",
+    )
+
+    p = sub.add_parser(
+        "sweep",
+        help="design-space sweep on the evaluation pipeline",
+        description=(
+            "Evaluate a full-factorial grid of design points "
+            "(families x lengths x spec axes) through the parallel, "
+            "cached exp pipeline and print a columnar result."
+        ),
+    )
+    _add_grid_args(p)
+    _add_metric_args(p)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = auto); results "
+        "are identical for any value",
+    )
+    p.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "json"],
+        help="output format (default table)",
+    )
+    p.add_argument("--output", help="write the formatted result to this file")
 
     p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
     p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
@@ -575,6 +589,126 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("calibrate", help="score the calibration grid")
+
+    p = sub.add_parser(
+        "shard",
+        help="plan, run and merge distributed shard jobs",
+        description=(
+            "Split a sweep or Monte-Carlo job into deterministic, "
+            "self-describing shards; run them here or on any host "
+            "sharing the job directory; merge the results back "
+            "byte-identically to the single-host run."
+        ),
+    )
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+
+    plan = shard_sub.add_parser(
+        "plan", help="write a job directory full of shard specs"
+    )
+    plan_sub = plan.add_subparsers(dest="plan_kind", required=True)
+
+    ps = plan_sub.add_parser("sweep", help="shard a design-space sweep")
+    ps.add_argument("job_dir", help="job directory to create")
+    ps.add_argument(
+        "--shards",
+        type=int,
+        default=4,
+        help="shard count (default 4; capped at the grid size)",
+    )
+    _add_grid_args(ps)
+    _add_metric_args(ps)
+
+    for kind, blurb in (
+        ("marginmc", "shard a k-sigma margin-yield Monte-Carlo"),
+        ("cavemc", "shard a cave-yield Monte-Carlo"),
+    ):
+        pm = plan_sub.add_parser(kind, help=blurb)
+        pm.add_argument("job_dir", help="job directory to create")
+        pm.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+        pm.add_argument(
+            "-M",
+            "--length",
+            type=int,
+            required=True,
+            help="total code length (doping regions)",
+        )
+        pm.add_argument(
+            "-n", "--valence", type=int, default=2, help="logic valence (default 2)"
+        )
+        pm.add_argument(
+            "--shards",
+            type=int,
+            default=4,
+            help="shard count (default 4; capped at the stream-block count)",
+        )
+        pm.add_argument(
+            "--samples",
+            type=int,
+            default=100_000,
+            help="total Monte-Carlo trials across all shards "
+            "(default 100000)",
+        )
+        pm.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="root seed; the merged result is bit-equal to a "
+            "single-host run with this seed for any shard count",
+        )
+        pm.add_argument(
+            "--stream-block",
+            type=int,
+            default=4096,
+            help="trials per child random stream (default 4096; "
+            "part of the reproducibility contract)",
+        )
+        if kind == "marginmc":
+            pm.add_argument(
+                "--k-sigma",
+                type=float,
+                default=3.0,
+                help="margin criterion strictness k (default 3.0)",
+            )
+
+    pr = shard_sub.add_parser("run", help="execute one shard spec file")
+    pr.add_argument("spec_file", help="a shards/NNNN-<key>.json spec")
+    pr.add_argument(
+        "--results-dir",
+        default=None,
+        help="write the result file here instead of the job's results/",
+    )
+    pr.add_argument(
+        "--no-record",
+        action="store_true",
+        help="skip the checkpoint-manifest completion line",
+    )
+
+    pl = shard_sub.add_parser(
+        "launch", help="run every pending shard in local processes"
+    )
+    pl.add_argument("job_dir")
+    pl.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = auto: min(pending, CPUs))",
+    )
+
+    pt = shard_sub.add_parser("status", help="job progress from the manifest")
+    pt.add_argument("job_dir")
+
+    pg = shard_sub.add_parser(
+        "merge", help="merge a completed job into the single-host result"
+    )
+    pg.add_argument("job_dir")
+    pg.add_argument(
+        "--format",
+        default="table",
+        choices=["table", "csv", "json"],
+        help="output format (default table)",
+    )
+    pg.add_argument("--output", help="write the formatted result to this file")
+
     return parser
 
 
@@ -659,9 +793,9 @@ def _parse_axis_values(text: str) -> tuple[float, ...]:
     return tuple(out)
 
 
-def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+def _grid_from_args(args: argparse.Namespace) -> list:
+    """The design-point grid an ``_add_grid_args`` namespace describes."""
     from repro.exp.designpoint import design_grid
-    from repro.exp.pipeline import SweepParams, default_jobs, run_sweep
 
     axes = {}
     for item in args.axis:
@@ -685,41 +819,161 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         raise SystemExit(str(exc))
     if not points:
         raise SystemExit("the requested grid has no admissible design points")
+    return points
+
+
+def _params_from_args(args: argparse.Namespace):
+    """The :class:`SweepParams` an ``_add_metric_args`` namespace describes."""
+    from repro.exp.pipeline import SweepParams
+
+    return SweepParams(
+        mc_samples=args.mc_samples,
+        mc_seed=args.seed if args.mc_seed is None else args.mc_seed,
+        k_sigma=args.k_sigma,
+        wl_trace=args.wl_trace,
+        wl_accesses=args.wl_accesses,
+        wl_instances=args.wl_instances,
+        wl_ecc=args.wl_ecc,
+        wl_error_rate=args.wl_error_rate,
+        wl_readout=args.wl_readout,
+        wl_resolution=args.wl_resolution,
+        wl_seed=args.seed,
+        ro_r_on=args.ro_r_on,
+        ro_r_off=args.ro_r_off,
+        ro_min_margin=args.ro_min_margin,
+    )
+
+
+def _metrics_from_args(args: argparse.Namespace) -> tuple[str, ...]:
+    return tuple(m.strip() for m in args.metric.split(",") if m.strip())
+
+
+def _format_sweep_result(result, fmt: str) -> str:
+    """One SweepResult, formatted; shared by ``sweep`` and ``shard merge``.
+
+    The csv/json forms are the byte-identity surface of the shard
+    layer: ``shard merge --format csv`` must reproduce ``sweep
+    --format csv`` exactly, so both funnel through here.
+    """
+    if fmt == "csv":
+        return result.to_csv_string().rstrip("\n")
+    if fmt == "json":
+        return result.to_json_string().rstrip("\n")
+    fields = list(result.fields)
+    rows = [[rec[f] for f in fields] for rec in result.to_records()]
+    return render_table(fields, rows, 4) + f"\n\n{len(result)} design points"
+
+
+def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.exp.cache import cache_stats
+    from repro.exp.pipeline import default_jobs, run_sweep
+
+    points = _grid_from_args(args)
     result = run_sweep(
         points,
-        metrics=tuple(m.strip() for m in args.metric.split(",") if m.strip()),
+        metrics=_metrics_from_args(args),
         spec=spec,
         jobs=args.jobs if args.jobs >= 1 else default_jobs(),
-        params=SweepParams(
-            mc_samples=args.mc_samples,
-            mc_seed=args.seed if args.mc_seed is None else args.mc_seed,
-            k_sigma=args.k_sigma,
-            wl_trace=args.wl_trace,
-            wl_accesses=args.wl_accesses,
-            wl_instances=args.wl_instances,
-            wl_ecc=args.wl_ecc,
-            wl_error_rate=args.wl_error_rate,
-            wl_readout=args.wl_readout,
-            wl_resolution=args.wl_resolution,
-            wl_seed=args.seed,
-            ro_r_on=args.ro_r_on,
-            ro_r_off=args.ro_r_off,
-            ro_min_margin=args.ro_min_margin,
-        ),
+        params=_params_from_args(args),
     )
-    if args.format == "csv":
-        out = result.to_csv_string().rstrip("\n")
-    elif args.format == "json":
-        out = result.to_json_string().rstrip("\n")
+    if args.format == "json":
+        payload = {
+            "design_points": len(result),
+            "cache": cache_stats(),
+            "records": result.to_records(),
+        }
+        out = _json.dumps(payload, indent=2)
     else:
-        fields = list(result.fields)
-        rows = [[rec[f] for f in fields] for rec in result.to_records()]
-        out = render_table(fields, rows, 4) + f"\n\n{len(result)} design points"
+        out = _format_sweep_result(result, args.format)
     if args.output:
         from pathlib import Path
 
         Path(args.output).write_text(out + "\n")
         return f"wrote {args.output} ({len(result)} design points)"
+    return out
+
+
+def _cmd_shard(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    import dataclasses
+    import json as _json
+
+    from repro import dist
+    from repro.exp.results import SweepResult
+
+    if args.shard_command == "plan":
+        if args.plan_kind == "sweep":
+            plan = dist.plan_sweep_shards(
+                _grid_from_args(args),
+                metrics=_metrics_from_args(args),
+                shards=args.shards,
+                spec=spec,
+                params=_params_from_args(args),
+            )
+        else:
+            plan = dist.plan_mc_shards(
+                args.plan_kind,
+                args.family,
+                args.length,
+                shards=args.shards,
+                samples=args.samples,
+                n=args.valence,
+                spec=spec,
+                seed=args.seed,
+                k_sigma=getattr(args, "k_sigma", 3.0),
+                stream_block=args.stream_block,
+            )
+        dist.write_job(args.job_dir, plan)
+        rows = [[s.index, s.key, s.units] for s in plan.shards]
+        table = render_table(["shard", "key", "units"], rows)
+        return (
+            table
+            + f"\n\nplanned {plan.job['kind']} job {plan.key}: "
+            f"{len(plan.shards)} shard spec(s) in {args.job_dir}"
+        )
+    if args.shard_command == "run":
+        result = dist.run_shard_file(
+            args.spec_file,
+            results_dir=args.results_dir,
+            record=not args.no_record,
+        )
+        return (
+            f"shard {result['index'] + 1}/{result['count']} of job "
+            f"{result['job_key']} done: {result['units']} unit(s) in "
+            f"{result['elapsed_s']:.2f}s"
+        )
+    if args.shard_command == "launch":
+        report = dist.launch(args.job_dir, workers=args.workers or None)
+        return (
+            f"ran {len(report.ran)} shard(s) {list(report.ran)}, skipped "
+            f"{len(report.skipped)} already complete {list(report.skipped)}"
+        )
+    if args.shard_command == "status":
+        return _json.dumps(dist.status(args.job_dir), indent=2)
+
+    merged = dist.merge_results(args.job_dir)
+    if isinstance(merged, SweepResult):
+        out = _format_sweep_result(merged, args.format)
+    else:
+        payload = dataclasses.asdict(merged)
+        if args.format == "json":
+            out = _json.dumps(payload, indent=2)
+        elif args.format == "csv":
+            out = (
+                ",".join(payload)
+                + "\n"
+                + ",".join(repr(v) if isinstance(v, float) else str(v)
+                           for v in payload.values())
+            )
+        else:
+            rows = [[k, v] for k, v in payload.items()]
+            out = render_table(["figure", "value"], rows, 6)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(out + "\n")
+        return f"wrote {args.output}"
     return out
 
 
@@ -1090,6 +1344,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         out = _cmd_margins(spec, args)
     elif args.command == "readout":
         out = _cmd_readout(args)
+    elif args.command == "shard":
+        out = _cmd_shard(spec, args)
     elif args.command == "calibrate":
         out = _cmd_calibrate()
     else:  # pragma: no cover - argparse enforces choices

@@ -1,0 +1,189 @@
+"""Job directory layout, checkpoint manifest and local orchestrator.
+
+A planned job materialises as one directory — the unit an orchestrator
+(or a shared filesystem between hosts) moves around::
+
+    <job_dir>/
+        job.json            # job description + ordered shard listing
+        shards/NNNN-<key>.json    # one self-describing ShardSpec each
+        results/NNNN-<key>.json   # one result document per finished shard
+        manifest.jsonl      # append-only completion log (the checkpoint)
+
+The manifest is the commit log: the runner renames a fully-written
+result file into place *before* appending its line, so every manifest
+entry points at a complete result.  Completion is judged by *both*
+signals — a manifest line whose shard key matches the plan **and** an
+existing result file — which makes resume conservative: truncating the
+manifest (a killed run) forces the affected shards to re-run even if
+their result files survived.
+
+Multiple hosts can share one job directory: each appends its own
+manifest lines (single ``O_APPEND`` writes) and shard files are
+content-keyed, so two hosts accidentally running the same shard write
+identical bytes.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.dist.spec import ShardPlan, ShardSpec
+
+JOB_FILE = "job.json"
+SHARDS_DIR = "shards"
+RESULTS_DIR = "results"
+MANIFEST_NAME = "manifest.jsonl"
+
+
+def shards_dir_for(job_dir: str | Path) -> Path:
+    """The directory holding a job's shard spec files."""
+    return Path(job_dir) / SHARDS_DIR
+
+
+def results_dir_for(job_dir: str | Path) -> Path:
+    """The directory holding a job's shard result files."""
+    return Path(job_dir) / RESULTS_DIR
+
+
+def manifest_path_for(job_dir: str | Path) -> Path:
+    """The append-only completion manifest of a job directory."""
+    return Path(job_dir) / MANIFEST_NAME
+
+
+def write_job(job_dir: str | Path, plan: ShardPlan) -> Path:
+    """Materialise a plan: ``job.json`` plus one spec file per shard."""
+    job_dir = Path(job_dir)
+    shards = shards_dir_for(job_dir)
+    shards.mkdir(parents=True, exist_ok=True)
+    results_dir_for(job_dir).mkdir(parents=True, exist_ok=True)
+    for shard in plan.shards:
+        (shards / shard.file_name).write_text(
+            json.dumps(shard.to_dict(), indent=1) + "\n"
+        )
+    listing = [
+        {"index": s.index, "key": s.key, "file": s.file_name} for s in plan.shards
+    ]
+    (job_dir / JOB_FILE).write_text(
+        json.dumps({"job": plan.job, "shards": listing}, indent=1) + "\n"
+    )
+    return job_dir
+
+
+def load_job(job_dir: str | Path) -> ShardPlan:
+    """Rebuild the plan from a job directory (shard specs re-read)."""
+    job_dir = Path(job_dir)
+    doc = json.loads((job_dir / JOB_FILE).read_text())
+    shards = []
+    for entry in doc["shards"]:
+        spec_path = shards_dir_for(job_dir) / entry["file"]
+        shard = ShardSpec.from_dict(json.loads(spec_path.read_text()))
+        if shard.key != entry["key"]:
+            raise ValueError(
+                f"shard file {entry['file']} does not match its listed "
+                f"content key (edited or corrupted?)"
+            )
+        shards.append(shard)
+    return ShardPlan(job=doc["job"], shards=tuple(shards))
+
+
+def record_completion(job_dir: str | Path, shard: ShardSpec, result: dict) -> None:
+    """Append one completion line to the checkpoint manifest.
+
+    A single ``O_APPEND`` write of one line, safe for concurrent
+    writers sharing the directory across processes or hosts.
+    """
+    line = json.dumps(
+        {
+            "index": shard.index,
+            "key": shard.key,
+            "file": shard.file_name,
+            "units": result["units"],
+            "elapsed_s": result["elapsed_s"],
+        }
+    )
+    with open(manifest_path_for(job_dir), "a") as fh:
+        fh.write(line + "\n")
+
+
+def completed_keys(job_dir: str | Path) -> set[str]:
+    """Shard keys with a manifest line *and* an existing result file."""
+    manifest = manifest_path_for(job_dir)
+    if not manifest.exists():
+        return set()
+    results = results_dir_for(job_dir)
+    done = set()
+    for line in manifest.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        if (results / entry["file"]).exists():
+            done.add(entry["key"])
+    return done
+
+
+def pending_shards(job_dir: str | Path, plan: ShardPlan | None = None) -> list:
+    """Planned shards not yet recorded complete, in index order."""
+    plan = plan if plan is not None else load_job(job_dir)
+    done = completed_keys(job_dir)
+    return [s for s in plan.shards if s.key not in done]
+
+
+@dataclass(frozen=True)
+class LaunchReport:
+    """What one ``launch`` call did: shard indices run vs. skipped."""
+
+    ran: tuple[int, ...]
+    skipped: tuple[int, ...]
+
+
+def launch(job_dir: str | Path, workers: int | None = None) -> LaunchReport:
+    """Run every pending shard of a job in local worker processes.
+
+    Completed shards (per the checkpoint manifest) are skipped, which
+    is the whole resume story: re-launching an interrupted job re-runs
+    only the missing shards.  ``workers`` defaults to
+    ``min(pending, cpu_count)``.
+    """
+    import multiprocessing
+    import os
+
+    from repro.dist.runner import run_shard_file
+
+    job_dir = Path(job_dir)
+    plan = load_job(job_dir)
+    todo = pending_shards(job_dir, plan)
+    skipped = tuple(s.index for s in plan.shards if s not in todo)
+    if not todo:
+        return LaunchReport(ran=(), skipped=skipped)
+    paths = [shards_dir_for(job_dir) / s.file_name for s in todo]
+    if workers is None:
+        workers = max(1, min(len(todo), os.cpu_count() or 1))
+    if workers == 1:
+        for path in paths:
+            run_shard_file(path)
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = None
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            list(pool.map(run_shard_file, paths))
+    return LaunchReport(ran=tuple(s.index for s in todo), skipped=skipped)
+
+
+def status(job_dir: str | Path) -> dict:
+    """Progress summary of a job directory (JSON-friendly)."""
+    plan = load_job(job_dir)
+    done = completed_keys(job_dir)
+    pending = [s.index for s in plan.shards if s.key not in done]
+    return {
+        "job_key": plan.key,
+        "kind": plan.job["kind"],
+        "shards": len(plan.shards),
+        "completed": len(plan.shards) - len(pending),
+        "pending": pending,
+    }

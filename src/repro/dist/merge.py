@@ -1,0 +1,142 @@
+"""Exact merger: recombine shard results into the single-host objects.
+
+The merge contract is **byte identity**, not statistical agreement:
+
+* **sweep** — shard result files store the row records verbatim, in
+  row order; concatenating them in shard-index order and rebuilding
+  through :meth:`repro.exp.results.SweepResult.from_records` produces
+  the same columns, dtypes and serialised CSV/JSON bytes as
+  ``run_sweep`` on one host, because that is literally the same
+  constructor fed the same records in the same order.
+* **marginmc / cavemc** — shard files store one ``(count, mean, M2)``
+  moment state per stream block.  The merger folds the states in
+  global block order with :meth:`StreamingMoments.merge`, which is the
+  identical ``_combine`` call sequence a single-host
+  :class:`repro.sim.engine.MonteCarloEngine` run performs (one
+  combine per block batch).  Chan's combine is not reordering-exact in
+  floating point, so per-block granularity — not per-shard aggregates —
+  is what makes the merged mean/std bit-equal for *any* shard count.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.codes.registry import make_code
+from repro.crossbar.montecarlo import MonteCarloMarginYield, MonteCarloYield
+from repro.crossbar.yield_model import decoder_for
+from repro.exp.results import SweepResult
+from repro.sim.accumulators import StreamingMoments
+
+from repro.dist.manifest import load_job, pending_shards, results_dir_for
+from repro.dist.spec import ShardPlan, spec_from_dict
+
+#: Metric order of the two MC kernels (merge folds every metric).
+MC_METRICS = {
+    "marginmc": ("margin_yield", "select_margin", "block_margin"),
+    "cavemc": ("cave", "electrical", "geometric"),
+}
+
+
+def load_results(job_dir: str | Path, plan: ShardPlan | None = None) -> list[dict]:
+    """All shard result documents in shard-index order, validated.
+
+    Raises if any shard is incomplete (listing the missing indices) or
+    if a result file does not belong to this job/shard — content keys
+    make mixing two jobs in one directory a hard error, not a silent
+    wrong answer.
+    """
+    job_dir = Path(job_dir)
+    plan = plan if plan is not None else load_job(job_dir)
+    missing = [s.index for s in pending_shards(job_dir, plan)]
+    if missing:
+        raise FileNotFoundError(
+            f"job {plan.key} incomplete: shards {missing} have no recorded "
+            f"result (run `repro shard launch {job_dir}` to finish them)"
+        )
+    results = []
+    for shard in plan.shards:
+        doc = json.loads((results_dir_for(job_dir) / shard.file_name).read_text())
+        if doc["job_key"] != plan.key or doc["shard_key"] != shard.key:
+            raise ValueError(
+                f"result file {shard.file_name} does not match shard "
+                f"{shard.index} of job {plan.key}"
+            )
+        results.append(doc)
+    return results
+
+
+def merge_sweep(plan: ShardPlan, results: list[dict]) -> SweepResult:
+    """Concatenate shard row records in order — the single-host table."""
+    records = [r for doc in results for r in doc["data"]["records"]]
+    return SweepResult.from_records(records)
+
+
+def fold_moments(plan: ShardPlan, results: list[dict]) -> dict[str, StreamingMoments]:
+    """Fold per-block moment states in global block order, per metric."""
+    names = MC_METRICS[plan.job["kind"]]
+    acc = {name: StreamingMoments() for name in names}
+    for doc in results:
+        data = doc["data"]["metrics"]
+        for name in names:
+            for state in data[name]:
+                acc[name].merge(StreamingMoments.from_state(*state))
+    for name in names:
+        if acc[name].count != plan.job["samples"]:
+            raise ValueError(
+                f"merged {name} covers {acc[name].count} trials, expected "
+                f"{plan.job['samples']} — shard results inconsistent"
+            )
+    return acc
+
+
+def merge_marginmc(plan: ShardPlan, results: list[dict]) -> MonteCarloMarginYield:
+    """The :func:`simulate_margin_yield` result object, bit-equal."""
+    acc = fold_moments(plan, results)
+    job = plan.job
+    decoder = decoder_for(
+        spec_from_dict(job["spec"]),
+        make_code(job["family"], job["n"], job["total_length"]),
+    )
+    k_sigma = float(job["k_sigma"])
+    return MonteCarloMarginYield(
+        samples=job["samples"],
+        k_sigma=k_sigma,
+        guard_v=k_sigma * decoder.sigma_t,
+        mean_margin_yield=acc["margin_yield"].mean,
+        std_margin_yield=acc["margin_yield"].std,
+        mean_select_margin=acc["select_margin"].mean,
+        mean_block_margin=acc["block_margin"].mean,
+    )
+
+
+def merge_cavemc(plan: ShardPlan, results: list[dict]) -> MonteCarloYield:
+    """The :func:`simulate_cave_yield_batched` result object, bit-equal."""
+    acc = fold_moments(plan, results)
+    return MonteCarloYield(
+        samples=plan.job["samples"],
+        mean_cave_yield=acc["cave"].mean,
+        std_cave_yield=acc["cave"].std,
+        mean_electrical_yield=acc["electrical"].mean,
+        mean_geometric_yield=acc["geometric"].mean,
+    )
+
+
+def merge_results(job_dir: str | Path):
+    """Merge a completed job directory into its single-host result object.
+
+    Returns a :class:`SweepResult` (sweep jobs), a
+    :class:`MonteCarloMarginYield` (marginmc) or a
+    :class:`MonteCarloYield` (cavemc).
+    """
+    plan = load_job(job_dir)
+    results = load_results(job_dir, plan)
+    kind = plan.job["kind"]
+    if kind == "sweep":
+        return merge_sweep(plan, results)
+    if kind == "marginmc":
+        return merge_marginmc(plan, results)
+    if kind == "cavemc":
+        return merge_cavemc(plan, results)
+    raise ValueError(f"unknown job kind {kind!r}")

@@ -1,0 +1,167 @@
+"""Shard planner: split a sweep or MC job into deterministic shards.
+
+Planning is a pure function of the job description — the same inputs
+always produce the same job key, the same shard keys and the same work
+slices — which is what makes checkpoint/resume safe: re-planning an
+interrupted job finds the already-written result files by name.
+
+Two job shapes exist:
+
+* **sweep** — the design-point grid of
+  :func:`repro.exp.pipeline.run_sweep` is split into contiguous row
+  runs.  Every point is evaluated independently and row order is the
+  merge order, so concatenating shard records reproduces the
+  single-host columnar result byte for byte.
+* **marginmc / cavemc** — the trial budget of
+  :func:`repro.crossbar.montecarlo.simulate_margin_yield` /
+  :func:`~repro.crossbar.montecarlo.simulate_cave_yield` is split at
+  stream-block granularity (:func:`repro.sim.batch.total_blocks`).
+  Each block owns a spawned child generator whose identity depends
+  only on its global block index, so any contiguous block partition
+  reproduces the single-host stream order exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.crossbar.spec import CrossbarSpec
+from repro.exp.designpoint import DesignPoint
+from repro.exp.pipeline import SweepParams, resolve_metrics
+from repro.sim.batch import (
+    DEFAULT_STREAM_BLOCK,
+    total_blocks,
+    validate_samples,
+    validate_stream_block,
+)
+
+from repro.dist.spec import (
+    ShardPlan,
+    ShardSpec,
+    content_key,
+    dump_points,
+    params_to_dict,
+    spec_to_dict,
+    split_even,
+)
+
+#: MC job kinds and the code-family validation they share.
+MC_KINDS = ("marginmc", "cavemc")
+
+
+def plan_sweep_shards(
+    points: Iterable[DesignPoint],
+    metrics: Sequence[str] = ("yield",),
+    *,
+    shards: int,
+    spec: CrossbarSpec | None = None,
+    params: SweepParams = SweepParams(),
+) -> ShardPlan:
+    """Split a design-point grid into contiguous row-run shards.
+
+    ``shards`` is a ceiling: a grid smaller than the requested shard
+    count plans one shard per point.
+    """
+    pts = list(points)
+    if not pts:
+        raise ValueError("no design points to shard")
+    names = list(resolve_metrics(metrics))
+    spec_dict = None if spec is None else spec_to_dict(spec)
+    params_dict = params_to_dict(params)
+    rows = dump_points(pts)
+    job = {
+        "kind": "sweep",
+        "metrics": names,
+        "spec": spec_dict,
+        "params": params_dict,
+        "points": len(pts),
+        "shards": len(split_even(len(pts), shards)),
+    }
+    job["key"] = content_key({**job, "rows": rows})
+    shard_specs = []
+    for index, (start, stop) in enumerate(split_even(len(pts), shards)):
+        shard_specs.append(
+            ShardSpec(
+                kind="sweep",
+                job_key=job["key"],
+                index=index,
+                count=job["shards"],
+                payload={
+                    "spec": spec_dict,
+                    "metrics": names,
+                    "params": params_dict,
+                    "row_start": start,
+                    "points": rows[start:stop],
+                },
+            )
+        )
+    return ShardPlan(job=job, shards=tuple(shard_specs))
+
+
+def plan_mc_shards(
+    kind: str,
+    family: str,
+    total_length: int,
+    *,
+    shards: int,
+    samples: int,
+    n: int = 2,
+    spec: CrossbarSpec | None = None,
+    seed: int = 0,
+    k_sigma: float = 3.0,
+    stream_block: int = DEFAULT_STREAM_BLOCK,
+) -> ShardPlan:
+    """Split one design's MC trial budget into stream-block-range shards.
+
+    ``kind`` is ``"marginmc"`` (k-sigma margin yield) or ``"cavemc"``
+    (cave yield).  ``shards`` is a ceiling: a budget spanning fewer
+    stream blocks than the requested shard count plans one shard per
+    block, so a shard never splits a block (the reproducibility unit).
+    """
+    if kind not in MC_KINDS:
+        raise ValueError(f"unknown MC job kind {kind!r}; expected one of {MC_KINDS}")
+    samples = validate_samples(samples)
+    stream_block = validate_stream_block(stream_block)
+    blocks = total_blocks(samples, stream_block)
+    ranges = split_even(blocks, shards)
+    spec_dict = spec_to_dict(spec if spec is not None else CrossbarSpec())
+    job = {
+        "kind": kind,
+        "family": family.strip().upper(),
+        "total_length": int(total_length),
+        "n": int(n),
+        "spec": spec_dict,
+        "samples": samples,
+        "seed": int(seed),
+        "stream_block": stream_block,
+        "blocks": blocks,
+        "shards": len(ranges),
+    }
+    if kind == "marginmc":
+        job["k_sigma"] = float(k_sigma)
+    job["key"] = content_key(job)
+    shard_specs = []
+    for index, (start, stop) in enumerate(ranges):
+        payload = {
+            "spec": spec_dict,
+            "family": job["family"],
+            "total_length": job["total_length"],
+            "n": job["n"],
+            "samples": samples,
+            "seed": job["seed"],
+            "stream_block": stream_block,
+            "block_start": start,
+            "block_stop": stop,
+        }
+        if kind == "marginmc":
+            payload["k_sigma"] = job["k_sigma"]
+        shard_specs.append(
+            ShardSpec(
+                kind=kind,
+                job_key=job["key"],
+                index=index,
+                count=job["shards"],
+                payload=payload,
+            )
+        )
+    return ShardPlan(job=job, shards=tuple(shard_specs))

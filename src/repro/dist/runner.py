@@ -1,0 +1,136 @@
+"""Shard runner: execute one :class:`~repro.dist.spec.ShardSpec`.
+
+The runner is the only part of the distributed layer that computes.  It
+rebuilds the simulation from the shard's self-describing payload, runs
+exactly the slice of work the shard owns, and writes one content-keyed
+JSON result file:
+
+* **sweep** shards evaluate their design-point rows through
+  :func:`repro.exp.pipeline.evaluate_points` — the same entry point the
+  single-host worker pool uses — and store the row records verbatim.
+* **MC** shards evaluate their stream-block range through
+  :func:`repro.sim.engine.run_block_moments` and store the per-block
+  ``(count, mean, M2)`` moment states, the unit the merger re-folds in
+  global block order to replay the single-host accumulation byte for
+  byte.
+
+Result files are written atomically (temp file + ``os.replace``) before
+the checkpoint manifest records completion, so a killed run never leaves
+a manifest entry pointing at a partial file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.codes.registry import make_code
+from repro.crossbar.yield_model import decoder_for
+from repro.exp.cache import cache_stats
+from repro.exp.pipeline import evaluate_points
+from repro.sim.engine import run_block_moments
+
+from repro.dist.spec import (
+    ShardSpec,
+    load_points,
+    params_from_dict,
+    spec_from_dict,
+)
+
+
+def build_mc_kernel(payload: dict):
+    """The trial kernel an MC shard payload describes.
+
+    ``marginmc`` builds the k-sigma :class:`repro.sim.margins.MarginYieldKernel`;
+    ``cavemc`` reuses the decoder's cached
+    :class:`repro.sim.engine.CaveYieldKernel`.
+    """
+    spec = spec_from_dict(payload["spec"])
+    space = make_code(payload["family"], payload["n"], payload["total_length"])
+    decoder = decoder_for(spec, space)
+    if "k_sigma" in payload:
+        from repro.sim.margins import MarginYieldKernel
+
+        return MarginYieldKernel(decoder, payload["k_sigma"])
+    return decoder.montecarlo_kernel
+
+
+def run_shard(shard: ShardSpec) -> dict:
+    """Execute one shard in-process and return its result document."""
+    started = time.perf_counter()
+    payload = shard.payload
+    if shard.kind == "sweep":
+        spec = None if payload["spec"] is None else spec_from_dict(payload["spec"])
+        records = evaluate_points(
+            load_points(payload["points"]),
+            spec,
+            tuple(payload["metrics"]),
+            params_from_dict(payload["params"]),
+        )
+        data = {"row_start": payload["row_start"], "records": records}
+    else:
+        kernel = build_mc_kernel(payload)
+        blocks = run_block_moments(
+            kernel,
+            payload["samples"],
+            payload["seed"],
+            block_start=payload["block_start"],
+            block_stop=payload["block_stop"],
+            stream_block=payload["stream_block"],
+        )
+        data = {
+            "block_start": payload["block_start"],
+            "metrics": {
+                name: [list(states[name]) for states in blocks]
+                for name in kernel.metrics
+            },
+        }
+    return {
+        "kind": shard.kind,
+        "job_key": shard.job_key,
+        "shard_key": shard.key,
+        "index": shard.index,
+        "count": shard.count,
+        "units": shard.units,
+        "elapsed_s": time.perf_counter() - started,
+        "cache": cache_stats(),
+        "data": data,
+    }
+
+
+def write_result(result: dict, path: str | Path) -> Path:
+    """Atomically write a result document (temp file + rename)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(result, indent=1) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def run_shard_file(
+    spec_path: str | Path,
+    results_dir: str | Path | None = None,
+    *,
+    record: bool = True,
+) -> dict:
+    """Execute the shard described by a spec file from a job directory.
+
+    Runs the shard, writes ``results/<index>-<key>.json`` atomically
+    and — with ``record=True`` — appends the completion line to the
+    job's checkpoint manifest.  The rename-then-record order is the
+    commit protocol: a manifest line implies a fully-written result.
+    """
+    from repro.dist.manifest import record_completion, results_dir_for
+
+    spec_path = Path(spec_path)
+    shard = ShardSpec.from_dict(json.loads(spec_path.read_text()))
+    job_dir = spec_path.parent.parent
+    out_dir = Path(results_dir) if results_dir else results_dir_for(job_dir)
+    result = run_shard(shard)
+    write_result(result, out_dir / shard.file_name)
+    if record:
+        record_completion(job_dir, shard, result)
+    return result

@@ -398,14 +398,23 @@ def evaluate_point(
     return record
 
 
-def _evaluate_chunk(
+def evaluate_points(
     points: Sequence[DesignPoint],
     spec: CrossbarSpec | None,
     metrics: tuple[str, ...],
     params: SweepParams,
 ) -> list[Record]:
-    """Worker entry point: evaluate one chunk of points in order."""
+    """Evaluate one run of points in order; the worker/shard entry point.
+
+    Both the in-process pool of :func:`run_sweep` and the shard runner
+    of :mod:`repro.dist` funnel through here, which is why a sharded
+    sweep reproduces the single-host rows exactly.
+    """
     return [evaluate_point(p, spec, metrics, params) for p in points]
+
+
+#: Backwards-compatible alias (pre-dist name of the worker entry point).
+_evaluate_chunk = evaluate_points
 
 
 def _chunked(points: Sequence[DesignPoint], size: int) -> list[Sequence[DesignPoint]]:

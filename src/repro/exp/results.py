@@ -73,6 +73,16 @@ class SweepResult:
         return cls({f: _column_array([r[f] for r in records]) for f in fields})
 
     @classmethod
+    def from_json_string(cls, text: str) -> "SweepResult":
+        """Rebuild from :meth:`to_json_string` output, byte-exactly.
+
+        JSON floats round-trip through Python's shortest-repr exactly,
+        so ``from_json_string(r.to_json_string()) == r`` including
+        column dtypes — the property the shard transport relies on.
+        """
+        return cls.from_records(json.loads(text))
+
+    @classmethod
     def concat(cls, parts: Sequence["SweepResult"]) -> "SweepResult":
         """Concatenate results row-wise (same fields, in order)."""
         if not parts:

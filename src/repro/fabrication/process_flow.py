@@ -99,13 +99,50 @@ class ProcessFlow:
         """Number of spacer-definition iterations — equals N."""
         return sum(1 for e in self.events if isinstance(e, SpacerEvent))
 
-    def replay(self) -> np.ndarray:
+    def _event_deposits(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-step dose and count deposits of the doping events.
+
+        Row ``d - 1`` holds everything implanted while ``d`` nanowires
+        were defined; since such a pass hits wires ``0..d-1``, wire
+        ``i``'s total is the sum of rows ``i..N-1`` — one reverse
+        cumulative sum instead of a wire-by-wire replay.
+        """
+        doses = np.zeros((self.plan.nanowires, self.plan.regions))
+        counts = np.zeros((self.plan.nanowires, self.plan.regions), dtype=int)
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        defined = 0
+        for event in self.events:
+            if isinstance(event, SpacerEvent):
+                defined = max(defined, event.wire + 1)
+            elif defined:
+                rows.extend([defined - 1] * len(event.regions))
+                cols.extend(event.regions)
+                vals.extend([event.dose] * len(event.regions))
+        if rows:
+            np.add.at(doses, (rows, cols), vals)
+            np.add.at(counts, (rows, cols), 1)
+        return doses, counts
+
+    def replay(self, method: str = "batched") -> np.ndarray:
         """Execute the flow, accumulating doses onto defined nanowires.
 
         Each doping event's dose lands on the exposed regions of *every*
         nanowire defined so far (the MSPT accumulation of Prop. 2).
         Returns the resulting final doping matrix.
+
+        ``method="batched"`` (default) folds the events into per-step
+        deposit rows and reverse-cumulative-sums them — no per-wire
+        Python loop; ``method="loop"`` is the original event-by-event
+        replay, kept as the equivalence reference (the two agree to
+        floating-point rounding; summation order differs).
         """
+        if method == "batched":
+            doses, _ = self._event_deposits()
+            return np.cumsum(doses[::-1], axis=0)[::-1]
+        if method != "loop":
+            raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
         doping = np.zeros((self.plan.nanowires, self.plan.regions))
         defined = 0
         for event in self.events:
@@ -120,13 +157,19 @@ class ProcessFlow:
         """Check that replaying the events reproduces the planned doping."""
         return bool(np.allclose(self.replay(), self.plan.final, rtol=rtol))
 
-    def dose_counts(self) -> np.ndarray:
+    def dose_counts(self, method: str = "batched") -> np.ndarray:
         """How many doses each region of each nanowire received.
 
         This is the nu matrix of Def. 5, obtained operationally from the
         event list rather than from the formula — the two are compared in
-        the test suite.
+        the test suite.  Methods as in :meth:`replay`; counts are
+        integers, so the two paths are exactly equal.
         """
+        if method == "batched":
+            _, deposits = self._event_deposits()
+            return np.cumsum(deposits[::-1], axis=0)[::-1]
+        if method != "loop":
+            raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
         counts = np.zeros((self.plan.nanowires, self.plan.regions), dtype=int)
         defined = 0
         for event in self.events:

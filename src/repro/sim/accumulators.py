@@ -45,6 +45,27 @@ class StreamingMoments:
         """Fold another accumulator into this one (sharding-friendly)."""
         self._combine(other.count, other.mean, other._m2)
 
+    def state(self) -> tuple[int, float, float]:
+        """The ``(count, mean, M2)`` triple that fully determines this
+        accumulator — the serialisation unit of the shard-merge layer.
+
+        A fresh accumulator updated with one batch holds exactly that
+        batch's ``(n, batch_mean, batch_M2)``, so per-block states
+        written by a shard runner and re-folded in global block order
+        replay the byte-exact ``_combine`` sequence of a single-host
+        engine run (see :mod:`repro.dist.merge`).
+        """
+        return (self.count, self.mean, self._m2)
+
+    @classmethod
+    def from_state(cls, count: int, mean: float, m2: float) -> "StreamingMoments":
+        """Rebuild an accumulator from a :meth:`state` triple."""
+        out = cls()
+        out.count = int(count)
+        out.mean = float(mean)
+        out._m2 = float(m2)
+        return out
+
     def _combine(self, n: int, mean: float, m2: float) -> None:
         if n == 0:
             return

@@ -39,9 +39,11 @@ from repro.sim.batch import (
     DEFAULT_MAX_TRIALS_PER_CHUNK,
     DEFAULT_STREAM_BLOCK,
     block_sizes,
+    block_width,
     plan_chunks,
     resolve_rng,
     spawn_block_streams,
+    total_blocks,
     validate_samples,
 )
 
@@ -172,6 +174,62 @@ class MonteCarloEngine:
         if raw is not None:
             raw = {name: np.concatenate(parts) for name, parts in raw.items()}
         return SimResult(samples=samples, metrics=metrics, raw=raw)
+
+
+def run_block_moments(
+    kernel: TrialKernel,
+    samples: int,
+    rng: np.random.Generator | int | None = 0,
+    *,
+    block_start: int = 0,
+    block_stop: int | None = None,
+    stream_block: int = DEFAULT_STREAM_BLOCK,
+) -> list[dict[str, tuple[int, float, float]]]:
+    """Per-block moment states of a contiguous stream-block range.
+
+    The shard-execution primitive of :mod:`repro.dist`: a spawn-mode
+    kernel's trials are owned by fixed stream blocks, so any shard can
+    evaluate blocks ``[block_start, block_stop)`` of a ``samples``-trial
+    simulation and report, per block and per metric, the
+    ``(count, mean, M2)`` state of a fresh
+    :class:`~repro.sim.accumulators.StreamingMoments` fed exactly that
+    block's batch.  Folding the states of *all* blocks back together in
+    global block order replays the byte-exact accumulation sequence of
+    :meth:`MonteCarloEngine.run` on one host — for any shard count.
+
+    ``Generator.spawn`` hands out children in spawn order, so the
+    shard spawns ``block_stop`` children from the root and discards the
+    first ``block_start``: block ``i`` draws from the same child stream
+    it would in a single-host run.  Shared-stream kernels draw
+    sequentially from one caller generator and therefore cannot be
+    sharded; they are rejected.
+    """
+    if kernel.stream_mode != "spawn":
+        raise ValueError(
+            "only spawn-mode kernels can be sharded by stream block; "
+            f"kernel {type(kernel).__name__} uses shared-stream draws"
+        )
+    samples = validate_samples(samples)
+    blocks = total_blocks(samples, stream_block)
+    stop = blocks if block_stop is None else int(block_stop)
+    start = int(block_start)
+    if not 0 <= start < stop <= blocks:
+        raise ValueError(
+            f"block range [{start}, {stop}) out of order or outside the "
+            f"{blocks} blocks of {samples} samples"
+        )
+    root = resolve_rng(rng)
+    streams = spawn_block_streams(root, stop)[start:]
+    out: list[dict[str, tuple[int, float, float]]] = []
+    for index, stream in zip(range(start, stop), streams):
+        batch = kernel.sample(stream, block_width(index, samples, stream_block))
+        states = {}
+        for name in kernel.metrics:
+            moments = StreamingMoments()
+            moments.update(batch[name])
+            states[name] = moments.state()
+        out.append(states)
+    return out
 
 
 # -- cave-yield kernel (Sec. 6.1 Monte-Carlo cross-check) ----------------------

@@ -373,8 +373,27 @@ class TestSweepCLI:
         assert code == 0
         code, parallel = self.run(capsys, *self.GRID_ARGS, "--jobs", "4")
         assert code == 0
-        assert parallel == serial
-        assert len(json.loads(serial)) == 60
+        # the result rows are byte-identical for any --jobs; the cache
+        # section is a process-local diagnostic and legitimately differs
+        # (workers warm their own memos)
+        serial_doc, parallel_doc = json.loads(serial), json.loads(parallel)
+        assert json.dumps(parallel_doc["records"]) == json.dumps(
+            serial_doc["records"]
+        )
+        assert parallel_doc["design_points"] == serial_doc["design_points"] == 60
+        assert len(serial_doc["records"]) == 60
+
+    def test_json_format_surfaces_cache_counters(self, capsys):
+        code, out = self.run(capsys, *self.GRID_ARGS, "--jobs", "1")
+        assert code == 0
+        cache = json.loads(out)["cache"]
+        assert {"make_code", "decoder_for", "cached_spec"} <= set(cache)
+        for counters in cache.values():
+            assert {"hits", "misses", "currsize"} <= set(counters)
+            assert all(v >= 0 for v in counters.values())
+        # the memoized pipeline actually hits: a 60-point grid shares
+        # codes and decoders across points
+        assert cache["make_code"]["hits"] > 0
 
     def test_csv_format_and_output_file(self, capsys, tmp_path):
         out_path = tmp_path / "sweep.csv"
@@ -436,7 +455,10 @@ class TestSweepCLI:
             "--format",
             "json",
         )
-        assert json.loads(harsh)[0]["cave_yield"] < json.loads(mild)[0]["cave_yield"]
+        assert (
+            json.loads(harsh)["records"][0]["cave_yield"]
+            < json.loads(mild)["records"][0]["cave_yield"]
+        )
 
     def test_bad_axis_spec_exits(self, capsys):
         with pytest.raises(SystemExit):

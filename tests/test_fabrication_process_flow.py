@@ -66,3 +66,39 @@ class TestReplay:
         assert s["regions"] == 8
         assert s["spacer_steps"] == 10
         assert s["doping_steps"] == s["phi_check"]
+
+
+class TestBatchedReplay:
+    """The cumulative-mask replay against the event-by-event reference."""
+
+    def test_replay_matches_loop_reference(self):
+        for space in (TreeCode(2, 3), GrayCode(3, 2), HotCode(2, 2)):
+            flow = flow_for(space, 9)
+            assert np.allclose(flow.replay(), flow.replay(method="loop"))
+
+    def test_dose_counts_exactly_match_loop_reference(self):
+        """Counts are integers: the two formulations agree exactly."""
+        for space in (TreeCode(2, 4), GrayCode(2, 4), HotCode(2, 3)):
+            flow = flow_for(space, 12)
+            batched = flow.dose_counts()
+            loop = flow.dose_counts(method="loop")
+            assert batched.dtype == loop.dtype
+            assert np.array_equal(batched, loop)
+
+    def test_replay_with_paper_example_both_methods(
+        self, paper_map, example1_pattern
+    ):
+        plan = DopingPlan.from_pattern(example1_pattern, paper_map)
+        flow = ProcessFlow.from_plan(plan)
+        assert np.allclose(flow.replay(method="batched"), plan.final)
+        assert np.allclose(flow.replay(method="loop"), plan.final)
+
+    def test_unknown_method_rejected(self):
+        flow = flow_for(GrayCode(2, 3), 6)
+        for call in (flow.replay, flow.dose_counts):
+            try:
+                call(method="turbo")
+            except ValueError as exc:
+                assert "turbo" in str(exc)
+            else:  # pragma: no cover - defensive
+                raise AssertionError("expected ValueError")
