@@ -1,0 +1,173 @@
+"""OBS — telemetry must be numerically invisible and near-free when off.
+
+The unified telemetry layer (:mod:`repro.obs`) instruments the engine's
+hot chunk loop, so its contract is gated here before any profile is
+trusted:
+
+* **invariance** — a cave-yield engine run with telemetry *enabled*
+  must equal the same run with telemetry *disabled* exactly
+  (dataclass ``==``: every float bit-identical).  Spans and counters
+  only read clocks and write telemetry state; they never touch the
+  numerics or the random streams.
+* **disabled overhead** — the instrumented
+  :meth:`repro.sim.engine.MonteCarloEngine.run` with telemetry off must
+  stay within ``OBS_BENCH_MAX_OVERHEAD`` (default 2%) of a bare driver
+  that replays the pre-instrumentation hot loop verbatim
+  (plan/spawn/sample/update, no ``obs`` calls at all).  Medians over
+  alternating repeats keep container noise from flaking the gate.
+
+The enabled-path cost is measured and reported too, but not gated — it
+is a few clock reads per 4096-trial block and is allowed to cost what
+it costs.
+
+Environment knobs (see ``run_checks.sh``):
+
+* ``OBS_BENCH_TRIALS``       — trials per timed run   (default 200000)
+* ``OBS_BENCH_REPEATS``      — timed repeats per side (default 5)
+* ``OBS_BENCH_MAX_OVERHEAD`` — disabled-path ceiling  (default 0.02)
+"""
+
+import os
+import statistics
+from time import perf_counter
+
+from repro import obs
+from repro.analysis.report import render_table
+from repro.codes.registry import make_code
+from repro.crossbar.yield_model import decoder_for
+from repro.sim.accumulators import MomentSet
+from repro.sim.batch import (
+    block_sizes,
+    plan_chunks,
+    resolve_rng,
+    validate_samples,
+)
+from repro.sim.engine import MonteCarloEngine
+
+TRIALS = int(os.environ.get("OBS_BENCH_TRIALS", 200_000))
+REPEATS = int(os.environ.get("OBS_BENCH_REPEATS", 5))
+MAX_OVERHEAD = float(os.environ.get("OBS_BENCH_MAX_OVERHEAD", 0.02))
+
+FAMILY, LENGTH, SEED = "BGC", 8, 0
+
+
+def run_bare(kernel, samples, seed, *, max_trials_per_chunk, stream_block):
+    """The engine hot loop exactly as it was before instrumentation.
+
+    Chunk plan, incremental child-stream spawning, one kernel call per
+    block, Welford update — and not a single ``obs`` call.  This is the
+    honest baseline the disabled path is charged against.
+    """
+    samples = validate_samples(samples)
+    chunks = plan_chunks(samples, max_trials_per_chunk, stream_block)
+    root = resolve_rng(seed)
+    acc = MomentSet(kernel.metrics)
+    for chunk in chunks:
+        widths = block_sizes(chunk, stream_block)
+        streams = root.spawn(len(widths))
+        for stream, width in zip(streams, widths):
+            acc.update(kernel.sample(stream, width))
+    return acc
+
+
+def test_obs_disabled_overhead(benchmark, emit, emit_json, spec):
+    code = make_code(FAMILY, 2, LENGTH)
+    kernel = decoder_for(spec, code).montecarlo_kernel
+    engine = MonteCarloEngine(kernel)
+    assert not obs.enabled(), "telemetry must start disabled under pytest"
+
+    # correctness gate first: telemetry on/off is numerically invisible
+    plain = engine.run(20_000, SEED)
+    with obs.scoped():
+        instrumented = engine.run(20_000, SEED)
+    assert not obs.enabled()
+    assert instrumented == plain, (
+        "engine results differ with telemetry enabled — instrumentation "
+        "touched the numerics"
+    )
+
+    def run_instrumented():
+        engine.run(TRIALS, SEED)
+
+    def run_baseline():
+        run_bare(
+            kernel,
+            TRIALS,
+            SEED,
+            max_trials_per_chunk=engine.max_trials_per_chunk,
+            stream_block=engine.stream_block,
+        )
+
+    def run_enabled():
+        with obs.scoped():
+            engine.run(TRIALS, SEED)
+
+    def run_all():
+        # warm the kernel scratch buffers and page cache once per side
+        run_baseline()
+        run_instrumented()
+        run_enabled()
+        bare_times, off_times, on_times = [], [], []
+        # alternate the three sides so slow drift (thermal, noisy
+        # neighbours) hits all of them equally
+        for _ in range(REPEATS):
+            t0 = perf_counter()
+            run_baseline()
+            bare_times.append(perf_counter() - t0)
+            t0 = perf_counter()
+            run_instrumented()
+            off_times.append(perf_counter() - t0)
+            t0 = perf_counter()
+            run_enabled()
+            on_times.append(perf_counter() - t0)
+        return (
+            statistics.median(bare_times),
+            statistics.median(off_times),
+            statistics.median(on_times),
+        )
+
+    bare_s, off_s, on_s = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    disabled_overhead = off_s / bare_s - 1.0
+    enabled_overhead = on_s / bare_s - 1.0
+
+    rows = [
+        ["bare loop (no obs calls)", f"{1000 * bare_s:.1f} ms", ""],
+        [
+            "instrumented, telemetry off",
+            f"{1000 * off_s:.1f} ms",
+            f"{100 * disabled_overhead:+.2f}%",
+        ],
+        [
+            "instrumented, telemetry on",
+            f"{1000 * on_s:.1f} ms",
+            f"{100 * enabled_overhead:+.2f}%",
+        ],
+    ]
+    emit(
+        "obs_overhead",
+        f"Telemetry overhead on the MC engine hot loop "
+        f"({TRIALS:,} trials, {FAMILY} M={LENGTH}, "
+        f"median of {REPEATS} repeats)\n"
+        + render_table(["path", "wall clock", "overhead"], rows),
+    )
+    emit_json(
+        "obs",
+        {
+            "trials": TRIALS,
+            "repeats": REPEATS,
+            "max_overhead": MAX_OVERHEAD,
+            "bare_s": bare_s,
+            "disabled_s": off_s,
+            "enabled_s": on_s,
+            "disabled_overhead": disabled_overhead,
+            "enabled_overhead": enabled_overhead,
+            "disabled_trials_per_s": TRIALS / off_s,
+        },
+    )
+
+    assert disabled_overhead < MAX_OVERHEAD, (
+        f"disabled-path telemetry overhead {100 * disabled_overhead:.2f}% "
+        f"exceeds the {100 * MAX_OVERHEAD:.0f}% ceiling "
+        f"({TRIALS:,} trials, median of {REPEATS} repeats)"
+    )

@@ -93,7 +93,9 @@ def test_shard_fleet_speedup(benchmark, emit, emit_json, spec, tmp_path):
 
     # resume gate: lose one shard's result, re-launch, re-run only it
     victim = 1 if SHARDS > 1 else 0
-    results = sorted(results_dir_for(job_dir).iterdir())
+    # result documents only — each shard also writes a telemetry stream
+    # (*.telemetry.jsonl) next to its result
+    results = sorted(results_dir_for(job_dir).glob("*.json"))
     results[victim].unlink()
     report = launch(job_dir, workers=1)
     assert report.ran == (victim,), f"resume re-ran {report.ran}, not ({victim},)"

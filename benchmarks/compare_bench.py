@@ -11,7 +11,13 @@ fresh ``./run_checks.sh`` run — and prints a per-gate table:
   (default 30%) fails the comparison;
 * **throughput gates** (keys ending in ``_per_s`` / ``_per_second``)
   are absolute rates, only comparable on similar hardware; they are
-  reported, and gated only with ``--strict-throughput``.
+  reported, and gated only with ``--strict-throughput``;
+* **overhead gates** (keys containing ``overhead``, e.g. the
+  ``disabled_overhead`` fraction of ``BENCH_obs.json``) are
+  lower-is-better fractions near zero, so they are compared by
+  absolute rise, not ratio: growing by more than
+  ``--max-overhead-rise`` (default 0.02, i.e. two percentage points)
+  fails the comparison.
 
 Usage::
 
@@ -46,6 +52,8 @@ def collect_gates(payload, prefix=""):
         key = prefix.rsplit(".", 1)[-1]
         if "speedup" in key and key != "min_speedup":
             gates[prefix] = ("speedup", float(payload))
+        elif "overhead" in key and key != "max_overhead":
+            gates[prefix] = ("overhead", float(payload))
         elif key.endswith(THROUGHPUT_SUFFIXES):
             gates[prefix] = ("throughput", float(payload))
     return gates
@@ -64,7 +72,8 @@ def load_tree(root: Path):
     return tree
 
 
-def compare(baseline, current, max_regression, strict_throughput):
+def compare(baseline, current, max_regression, strict_throughput,
+            max_overhead_rise):
     """Yield (gate, kind, old, new, ratio, regressed) comparison rows."""
     for name in sorted(set(baseline) & set(current)):
         common = set(baseline[name]) & set(current[name])
@@ -72,8 +81,13 @@ def compare(baseline, current, max_regression, strict_throughput):
             kind, old = baseline[name][gate]
             _, new = current[name][gate]
             ratio = new / old if old else float("inf")
-            gated = kind == "speedup" or strict_throughput
-            regressed = gated and ratio < 1.0 - max_regression
+            if kind == "overhead":
+                # fractions near zero: ratios are meaningless, gate on
+                # the absolute rise instead
+                regressed = new > old + max_overhead_rise
+            else:
+                gated = kind == "speedup" or strict_throughput
+                regressed = gated and ratio < 1.0 - max_regression
             yield f"{name}:{gate}", kind, old, new, ratio, regressed
 
 
@@ -94,6 +108,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="also gate absolute throughputs (same-machine comparisons only)",
     )
+    parser.add_argument(
+        "--max-overhead-rise",
+        type=float,
+        default=0.02,
+        help="tolerated absolute rise of an overhead fraction "
+        "(default 0.02 = two percentage points)",
+    )
     args = parser.parse_args(argv)
 
     for root in (args.baseline, args.current):
@@ -113,7 +134,15 @@ def main(argv=None) -> int:
         side = "baseline" if name in baseline else "current"
         print(f"note: {name} only in {side}; not compared")
 
-    rows = list(compare(baseline, current, args.max_regression, args.strict_throughput))
+    rows = list(
+        compare(
+            baseline,
+            current,
+            args.max_regression,
+            args.strict_throughput,
+            args.max_overhead_rise,
+        )
+    )
     if not rows:
         print("no comparable gates found")
         return 0
@@ -125,9 +154,10 @@ def main(argv=None) -> int:
     failures = 0
     for gate, kind, old, new, ratio, regressed in rows:
         status = "  REGRESSED" if regressed else ""
+        decimals = 4 if kind == "overhead" else 1
         print(
-            f"{gate.ljust(width)}  {kind:10}  {old:12,.1f}  {new:12,.1f}  "
-            f"{ratio:6.2f}x{status}"
+            f"{gate.ljust(width)}  {kind:10}  {old:12,.{decimals}f}  "
+            f"{new:12,.{decimals}f}  {ratio:6.2f}x{status}"
         )
         failures += regressed
     if failures:

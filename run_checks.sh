@@ -107,6 +107,22 @@ else
 fi
 
 echo
+echo "== telemetry overhead smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: instrumented engine with telemetry disabled
+    # within 2% of the bare pre-instrumentation loop; results with
+    # telemetry on/off exactly equal
+    python -m pytest -q benchmarks/bench_obs.py
+else
+    # smaller trial budget and a loose ceiling so container noise
+    # cannot flake it; the on/off exact-equality gate runs at full
+    # strictness either way
+    OBS_BENCH_TRIALS=50000 OBS_BENCH_REPEATS=3 \
+    OBS_BENCH_MAX_OVERHEAD=0.10 \
+    python -m pytest -q benchmarks/bench_obs.py
+fi
+
+echo
 echo "== shard perf smoke =="
 if [[ "${FULL_BENCH:-0}" == "1" ]]; then
     # acceptance protocol: million-trial margin-yield MC over 4 shards,

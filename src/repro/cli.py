@@ -34,6 +34,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.analysis.export import series_to_csv, to_json
 from repro.analysis.figures import (
     fig5_fabrication_complexity,
@@ -227,6 +228,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=1.0,
         help="contact dead gap in litho pitches (default 1.0)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="after the command, print the telemetry span tree and top "
+        "counters to stderr (stdout is unchanged)",
+    )
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        default=None,
+        help="stream telemetry events to this JSONL file (one line per "
+        "closed span plus a final metric snapshot; stable schema, see "
+        "README 'Observability')",
     )
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -696,6 +711,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     pt = shard_sub.add_parser("status", help="job progress from the manifest")
     pt.add_argument("job_dir")
+    pt.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll until every shard completes, printing one progress "
+        "line (units/s, ETA, stragglers) to stderr per interval",
+    )
+    pt.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch polls (default 2)",
+    )
 
     pg = shard_sub.add_parser(
         "merge", help="merge a completed job into the single-host result"
@@ -710,6 +737,22 @@ def build_parser() -> argparse.ArgumentParser:
     pg.add_argument("--output", help="write the formatted result to this file")
 
     return parser
+
+
+def _timing_payload() -> dict:
+    """The uniform ``timing`` section of every ``--format json`` payload.
+
+    Derived from the live telemetry registry at formatting time — the
+    command's ``cli.<command>`` span is still open, so ``wall_s`` covers
+    everything up to serialisation and ``spans`` holds the aggregated
+    tree of the layers the command exercised.
+    """
+    snap = obs.snapshot() or {}
+    return {
+        "schema_version": obs.SCHEMA_VERSION,
+        "wall_s": obs.current_elapsed(),
+        "spans": snap.get("spans", {}),
+    }
 
 
 def _spec_from_args(args: argparse.Namespace) -> CrossbarSpec:
@@ -882,6 +925,7 @@ def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
         payload = {
             "design_points": len(result),
             "cache": cache_stats(),
+            "timing": _timing_payload(),
             "records": result.to_records(),
         }
         out = _json.dumps(payload, indent=2)
@@ -950,14 +994,42 @@ def _cmd_shard(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             f"{len(report.skipped)} already complete {list(report.skipped)}"
         )
     if args.shard_command == "status":
-        return _json.dumps(dist.status(args.job_dir), indent=2)
+        if args.watch:
+            import time as _time
+
+            while True:
+                st = dist.status(args.job_dir)
+                rate = st["units_per_s"]
+                eta = st["eta_s"]
+                print(
+                    f"{st['completed']}/{st['shards']} shards  "
+                    f"{st['units_done']}/{st['units_total']} units  "
+                    + (f"{rate:,.1f} units/s  " if rate else "")
+                    + (f"eta {eta:,.0f}s  " if eta else "")
+                    + (
+                        f"stragglers {st['stragglers']}"
+                        if st["stragglers"]
+                        else ""
+                    ),
+                    file=sys.stderr,
+                )
+                if not st["pending"]:
+                    break
+                _time.sleep(args.interval)
+        doc = dist.status(args.job_dir)
+        doc["timing"] = _timing_payload()
+        return _json.dumps(doc, indent=2)
 
     merged = dist.merge_results(args.job_dir)
+    # fold shard telemetry into this process's registry so --profile
+    # renders the whole job's span tree, not just the merge step
+    obs.absorb(dist.job_telemetry(args.job_dir))
     if isinstance(merged, SweepResult):
         out = _format_sweep_result(merged, args.format)
     else:
         payload = dataclasses.asdict(merged)
         if args.format == "json":
+            payload["timing"] = _timing_payload()
             out = _json.dumps(payload, indent=2)
         elif args.format == "csv":
             out = (
@@ -999,21 +1071,19 @@ def _cmd_optimize(spec: CrossbarSpec, objective: str, jobs: int = 1) -> str:
 
 
 def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
-    from time import perf_counter
-
     from repro.codes.registry import make_code
 
     code = make_code(args.family, args.valence, args.length)
-    start = perf_counter()
-    mc = simulate_cave_yield(
-        spec,
-        code,
-        samples=args.samples,
-        seed=args.seed,
-        method=args.method,
-        max_trials_per_chunk=args.chunk_size,
-    )
-    elapsed = perf_counter() - start
+    with obs.span("cli.simulate.run", samples=args.samples) as sp:
+        mc = simulate_cave_yield(
+            spec,
+            code,
+            samples=args.samples,
+            seed=args.seed,
+            method=args.method,
+            max_trials_per_chunk=args.chunk_size,
+        )
+    elapsed = max(sp.wall_s, 1e-9)
     rows = [
         ["method", args.method],
         ["samples", mc.samples],
@@ -1028,7 +1098,6 @@ def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
 
 def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     import json as _json
-    from time import perf_counter
 
     from repro.codes.registry import make_code
     from repro.crossbar.ecc import SecdedCode
@@ -1066,16 +1135,16 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             ),
             resolution=args.resolution,
         )
-    start = perf_counter()
-    result = fleet.run(
-        trace,
-        method=args.method,
-        chunk_size=args.chunk_size,
-        seed=args.seed,
-        write_error_rate=args.error_rate,
-        readout=readout,
-    )
-    elapsed = perf_counter() - start
+    with obs.span("cli.memsim.run", accesses=trace.accesses) as sp:
+        result = fleet.run(
+            trace,
+            method=args.method,
+            chunk_size=args.chunk_size,
+            seed=args.seed,
+            write_error_rate=args.error_rate,
+            readout=readout,
+        )
+    elapsed = max(sp.wall_s, 1e-9)
     metric_names = FLEET_METRICS + (ELECTRICAL_METRICS if result.electrical else ())
 
     if args.format == "json":
@@ -1098,6 +1167,7 @@ def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
                 for name in metric_names
             },
             "exhausted_fraction": exhausted_fraction(result.per_instance),
+            "timing": _timing_payload(),
         }
         if result.electrical:
             payload["readout"] = {
@@ -1234,6 +1304,7 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             "seed": args.seed,
             "method": args.method,
             "families": results,
+            "timing": _timing_payload(),
         }
         return _json.dumps(payload, indent=2)
 
@@ -1309,10 +1380,34 @@ def _cmd_calibrate() -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Every invocation collects telemetry (the enabled-path cost is
+    negligible against any command's compute): spans/counters from the
+    instrumented layers aggregate into one registry, ``--profile``
+    renders the tree to stderr afterwards, and ``--telemetry-out``
+    streams the events as JSONL.  stdout is never touched by telemetry.
+    """
     args = build_parser().parse_args(argv)
     spec = _spec_from_args(args)
 
+    sinks = []
+    if args.telemetry_out:
+        sinks.append(
+            obs.JsonlSink(args.telemetry_out, meta={"command": args.command})
+        )
+    obs.enable(sinks=sinks)
+    try:
+        with obs.span(f"cli.{args.command}"):
+            return _dispatch(spec, args)
+    finally:
+        snap = obs.finish()
+        if args.profile and snap is not None:
+            print(obs.render_profile(snap), file=sys.stderr)
+
+
+def _dispatch(spec: CrossbarSpec, args: argparse.Namespace) -> int:
+    """Route to the subcommand handler and print its output."""
     data = None
     if args.command == "info":
         out = _cmd_info(spec)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.codes.base import CodeSpace
 from repro.crossbar.defects import DefectMap, sample_defect_map
 from repro.crossbar.readout import ReadoutModel
@@ -215,9 +216,11 @@ class CrossbarArray:
                 currents[idx] = measured
                 i_on[idx] = np.where(stored, measured, other)
                 i_off[idx] = np.where(stored, other, measured)
+                obs.counter("readout.sherman_morrison", idx.size)
                 continue
             measured = self.readout.read_currents(bank, local)
             currents[idx] = measured
+            obs.counter("readout.restamps", idx.size)
             for pos, t in enumerate(idx):
                 lr, lc = int(local[pos, 0]), int(local[pos, 1])
                 flipped = bank.copy()

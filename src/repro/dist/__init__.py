@@ -17,7 +17,7 @@ from repro.dist.manifest import (
     status,
     write_job,
 )
-from repro.dist.merge import merge_results
+from repro.dist.merge import job_telemetry, merge_results
 from repro.dist.planner import plan_mc_shards, plan_sweep_shards
 from repro.dist.runner import run_shard, run_shard_file
 from repro.dist.spec import (
@@ -35,6 +35,7 @@ __all__ = [
     "canonical_json",
     "completed_keys",
     "content_key",
+    "job_telemetry",
     "launch",
     "load_job",
     "merge_results",

@@ -20,7 +20,9 @@ their result files survived.
 Multiple hosts can share one job directory: each appends its own
 manifest lines (single ``O_APPEND`` writes) and shard files are
 content-keyed, so two hosts accidentally running the same shard write
-identical bytes.
+identical result *data* (the timing/telemetry fields differ, but the
+atomic rename means whichever write lands last is still a complete,
+correct document).
 """
 
 from __future__ import annotations
@@ -175,15 +177,99 @@ def launch(job_dir: str | Path, workers: int | None = None) -> LaunchReport:
     return LaunchReport(ran=tuple(s.index for s in todo), skipped=skipped)
 
 
+#: A completed shard whose elapsed time exceeds this multiple of the
+#: median completed-shard time is flagged as a straggler.
+STRAGGLER_FACTOR = 2.0
+
+
+def _manifest_entries(job_dir: str | Path) -> dict[str, dict]:
+    """Completion-line fields keyed by shard key (last line wins)."""
+    manifest = manifest_path_for(job_dir)
+    if not manifest.exists():
+        return {}
+    entries: dict[str, dict] = {}
+    for line in manifest.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entry = json.loads(line)
+            entries[entry["key"]] = entry
+    return entries
+
+
 def status(job_dir: str | Path) -> dict:
-    """Progress summary of a job directory (JSON-friendly)."""
+    """Progress summary of a job directory (JSON-friendly).
+
+    Beyond the manifest-derived counts, every shard row reports its
+    result file's size and mtime straight from the filesystem — on a
+    multi-host NFS job directory that is the cheap staleness signal: a
+    shard whose result never appears, or whose telemetry stream stops
+    growing, is stuck on some host.  Completed shards get a throughput
+    (``units_per_s``) from their manifest line, the job gets an
+    aggregate throughput and an ETA over the pending units, and
+    completed shards slower than :data:`STRAGGLER_FACTOR` times the
+    median are flagged.
+    """
+    import statistics
+
+    job_dir = Path(job_dir)
     plan = load_job(job_dir)
     done = completed_keys(job_dir)
+    entries = _manifest_entries(job_dir)
+    results = results_dir_for(job_dir)
     pending = [s.index for s in plan.shards if s.key not in done]
+
+    shard_rows = []
+    done_units = 0
+    done_elapsed = 0.0
+    elapsed_by_index: dict[int, float] = {}
+    for shard in plan.shards:
+        row: dict = {
+            "index": shard.index,
+            "units": shard.units,
+            "state": "done" if shard.key in done else "pending",
+        }
+        result_path = results / shard.file_name
+        if result_path.exists():
+            st = result_path.stat()
+            row["result_bytes"] = st.st_size
+            row["result_mtime"] = st.st_mtime
+        entry = entries.get(shard.key)
+        if shard.key in done and entry is not None:
+            elapsed = float(entry["elapsed_s"])
+            row["elapsed_s"] = elapsed
+            row["units_per_s"] = entry["units"] / max(elapsed, 1e-9)
+            done_units += entry["units"]
+            done_elapsed += elapsed
+            elapsed_by_index[shard.index] = elapsed
+        shard_rows.append(row)
+
+    stragglers = []
+    if len(elapsed_by_index) >= 2:
+        median = statistics.median(elapsed_by_index.values())
+        stragglers = sorted(
+            idx
+            for idx, elapsed in elapsed_by_index.items()
+            if elapsed > STRAGGLER_FACTOR * median
+        )
+    for row in shard_rows:
+        row["straggler"] = row["index"] in stragglers
+
+    pending_units = sum(s.units for s in plan.shards if s.index in set(pending))
+    units_per_s = done_units / done_elapsed if done_elapsed > 0 else None
+    eta_s = (
+        pending_units / units_per_s if units_per_s and pending_units else None
+    )
     return {
         "job_key": plan.key,
         "kind": plan.job["kind"],
         "shards": len(plan.shards),
         "completed": len(plan.shards) - len(pending),
         "pending": pending,
+        "units_total": sum(s.units for s in plan.shards),
+        "units_done": done_units,
+        "units_pending": pending_units,
+        "units_per_s": units_per_s,
+        "eta_s": eta_s,
+        "stragglers": stragglers,
+        "shard_details": shard_rows,
     }

@@ -123,6 +123,28 @@ def merge_cavemc(plan: ShardPlan, results: list[dict]) -> MonteCarloYield:
     )
 
 
+def job_telemetry(job_dir: str | Path) -> dict | None:
+    """Fold every shard's telemetry snapshot into one job-level profile.
+
+    Shard results ship the scoped :meth:`repro.obs.Telemetry.snapshot`
+    of their run; folding them in shard-index order with
+    :func:`repro.obs.merge_snapshots` gives the same associative merge
+    the in-process worker pool uses, so ``repro shard merge --profile``
+    renders one coherent span tree for the whole job.  Returns None
+    when no shard carried telemetry (results from an older layout).
+    """
+    from repro.obs import merge_snapshots
+
+    plan = load_job(job_dir)
+    results = load_results(job_dir, plan)
+    merged: dict | None = None
+    for doc in results:
+        snap = doc.get("telemetry")
+        if snap:
+            merged = merge_snapshots(merged, snap)
+    return merged
+
+
 def merge_results(job_dir: str | Path):
     """Merge a completed job directory into its single-host result object.
 

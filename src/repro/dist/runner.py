@@ -26,10 +26,12 @@ import os
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.codes.registry import make_code
 from repro.crossbar.yield_model import decoder_for
 from repro.exp.cache import cache_stats
 from repro.exp.pipeline import evaluate_points
+from repro.obs import JsonlSink
 from repro.sim.engine import run_block_moments
 
 from repro.dist.spec import (
@@ -57,36 +59,79 @@ def build_mc_kernel(payload: dict):
     return decoder.montecarlo_kernel
 
 
-def run_shard(shard: ShardSpec) -> dict:
-    """Execute one shard in-process and return its result document."""
+def telemetry_name(shard: ShardSpec) -> str:
+    """File name of a shard's telemetry stream (next to its result)."""
+    stem = shard.file_name
+    if stem.endswith(".json"):
+        stem = stem[: -len(".json")]
+    return stem + ".telemetry.jsonl"
+
+
+def run_shard(shard: ShardSpec, *, telemetry_path: str | Path | None = None) -> dict:
+    """Execute one shard in-process and return its result document.
+
+    Every shard collects telemetry into its own scoped registry — the
+    per-process cost is one span plus the instrumented layers' enabled
+    paths, negligible against a shard's compute — and ships the
+    snapshot home in the result's ``telemetry`` key, which
+    :func:`repro.dist.merge.job_telemetry` folds into a job-level
+    profile.  With ``telemetry_path`` the span/metric event stream is
+    also written as JSONL next to the result file (the multi-host
+    progress signal ``repro shard status`` sizes up).  If the caller's
+    process already has telemetry enabled, the shard snapshot is folded
+    into the live registry too, so in-process ``shard run`` keeps one
+    coherent tree.
+    """
     started = time.perf_counter()
     payload = shard.payload
-    if shard.kind == "sweep":
-        spec = None if payload["spec"] is None else spec_from_dict(payload["spec"])
-        records = evaluate_points(
-            load_points(payload["points"]),
-            spec,
-            tuple(payload["metrics"]),
-            params_from_dict(payload["params"]),
+    sinks = []
+    if telemetry_path is not None:
+        sinks.append(
+            JsonlSink(
+                telemetry_path,
+                meta={
+                    "kind": shard.kind,
+                    "job_key": shard.job_key,
+                    "shard_key": shard.key,
+                    "index": shard.index,
+                },
+            )
         )
-        data = {"row_start": payload["row_start"], "records": records}
-    else:
-        kernel = build_mc_kernel(payload)
-        blocks = run_block_moments(
-            kernel,
-            payload["samples"],
-            payload["seed"],
-            block_start=payload["block_start"],
-            block_stop=payload["block_stop"],
-            stream_block=payload["stream_block"],
-        )
-        data = {
-            "block_start": payload["block_start"],
-            "metrics": {
-                name: [list(states[name]) for states in blocks]
-                for name in kernel.metrics
-            },
-        }
+    with obs.scoped(sinks=sinks) as reg:
+        with obs.span(
+            "dist.run_shard", kind=shard.kind, index=shard.index, units=shard.units
+        ):
+            if shard.kind == "sweep":
+                spec = (
+                    None if payload["spec"] is None
+                    else spec_from_dict(payload["spec"])
+                )
+                records = evaluate_points(
+                    load_points(payload["points"]),
+                    spec,
+                    tuple(payload["metrics"]),
+                    params_from_dict(payload["params"]),
+                )
+                data = {"row_start": payload["row_start"], "records": records}
+            else:
+                kernel = build_mc_kernel(payload)
+                blocks = run_block_moments(
+                    kernel,
+                    payload["samples"],
+                    payload["seed"],
+                    block_start=payload["block_start"],
+                    block_stop=payload["block_stop"],
+                    stream_block=payload["stream_block"],
+                )
+                data = {
+                    "block_start": payload["block_start"],
+                    "metrics": {
+                        name: [list(states[name]) for states in blocks]
+                        for name in kernel.metrics
+                    },
+                }
+        snapshot = reg.snapshot()
+    obs.absorb(snapshot)
     return {
         "kind": shard.kind,
         "job_key": shard.job_key,
@@ -96,6 +141,7 @@ def run_shard(shard: ShardSpec) -> dict:
         "units": shard.units,
         "elapsed_s": time.perf_counter() - started,
         "cache": cache_stats(),
+        "telemetry": snapshot,
         "data": data,
     }
 
@@ -129,7 +175,7 @@ def run_shard_file(
     shard = ShardSpec.from_dict(json.loads(spec_path.read_text()))
     job_dir = spec_path.parent.parent
     out_dir = Path(results_dir) if results_dir else results_dir_for(job_dir)
-    result = run_shard(shard)
+    result = run_shard(shard, telemetry_path=out_dir / telemetry_name(shard))
     write_result(result, out_dir / shard.file_name)
     if record:
         record_completion(job_dir, shard, result)

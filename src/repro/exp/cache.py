@@ -16,8 +16,12 @@ functions of hashable inputs, so each worker process memoizes them:
 * perturbed specs — :func:`cached_spec` here, keyed on the base spec
   plus the sorted override tuple of a :class:`DesignPoint`.
 
-The helpers below aggregate those caches so tests and benchmarks can
-inspect hit counts and reset state between timed runs.
+The helpers below aggregate those caches for every consumer that needs
+hit counts or a reset: tests and benchmarks, the ``repro sweep
+--format json`` cache section, and the :mod:`repro.obs` telemetry
+registry, where :func:`cache_stats` is registered as a counter provider
+so sweep profiles report per-cache hit/miss deltas (summed coherently
+across worker processes and shards).
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from __future__ import annotations
 from dataclasses import replace
 from functools import lru_cache
 
+from repro import obs
 from repro.codes.registry import make_code
 from repro.crossbar.spec import CrossbarSpec
 from repro.crossbar.yield_model import decoder_for
@@ -106,3 +111,23 @@ def clear_caches() -> None:
     cached_spec.cache_clear()
     for fn in FABRICATION_CACHES:
         fn.cache_clear()
+
+
+def _flat_cache_counters() -> dict[str, int]:
+    """Monotonic hit/miss counters for the telemetry registry.
+
+    Flattened to ``<cache>.hits`` / ``<cache>.misses`` (``currsize`` is
+    a level, not a counter, so it stays out of the delta algebra).
+    """
+    flat: dict[str, int] = {}
+    for name, stats in cache_stats().items():
+        flat[f"{name}.hits"] = stats["hits"]
+        flat[f"{name}.misses"] = stats["misses"]
+    return flat
+
+
+# Snapshots report per-scope *deltas* of these monotonic counters, so
+# worker/shard contributions sum without double counting (note
+# ``clear_caches`` mid-scope would skew a delta; benchmarks that clear
+# do so outside telemetry scopes).
+obs.register_provider("exp.cache", _flat_cache_counters)

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
+from repro import obs
 from repro.codes.base import CodeSpace
 from repro.crossbar.area import effective_bit_area
 from repro.crossbar.spec import CrossbarSpec
@@ -394,7 +395,9 @@ def evaluate_point(
     space = point.code()
     record: Record = point.axes()
     for name in resolve_metrics(metrics):
-        record.update(EVALUATORS[name](resolved, space, params))
+        with obs.span(f"exp.eval.{name}"):
+            record.update(EVALUATORS[name](resolved, space, params))
+    obs.counter("exp.points")
     return record
 
 
@@ -410,11 +413,38 @@ def evaluate_points(
     of :mod:`repro.dist` funnel through here, which is why a sharded
     sweep reproduces the single-host rows exactly.
     """
-    return [evaluate_point(p, spec, metrics, params) for p in points]
+    with obs.span("exp.evaluate_points", points=len(points)):
+        return [evaluate_point(p, spec, metrics, params) for p in points]
 
 
 #: Backwards-compatible alias (pre-dist name of the worker entry point).
 _evaluate_chunk = evaluate_points
+
+
+def _evaluate_chunk_telemetry(
+    points: Sequence[DesignPoint],
+    spec: CrossbarSpec | None,
+    metrics: tuple[str, ...],
+    params: SweepParams,
+) -> tuple[list[Record], dict | None]:
+    """Chunk evaluation plus a scoped telemetry snapshot (pool task).
+
+    A forked worker inherits the parent's live telemetry registry, so
+    recording into it directly would double-count the pre-fork state
+    when the parent folds results back.  Instead each task collects
+    into a fresh scoped registry and ships its snapshot home with the
+    records; :func:`run_sweep` absorbs the snapshots in chunk order, so
+    ``--jobs N`` reports one coherent tree with the same merge algebra
+    as the Welford accumulators.  (The worker keeps the parent's open
+    span stack from the fork, so its span paths nest under the parent's
+    ``exp.run_sweep`` — snapshots fold onto matching paths.)
+    """
+    if not obs.enabled():
+        return evaluate_points(points, spec, metrics, params), None
+    with obs.scoped() as reg:
+        records = evaluate_points(points, spec, metrics, params)
+        snap = reg.snapshot()
+    return records, snap
 
 
 def _chunked(points: Sequence[DesignPoint], size: int) -> list[Sequence[DesignPoint]]:
@@ -475,21 +505,27 @@ def run_sweep(
         chunksize = max(1, -(-len(pts) // (jobs * 4)))
     chunks = _chunked(pts, chunksize)
 
-    if jobs == 1:
-        record_chunks = [
-            _evaluate_chunk(chunk, spec, names, params) for chunk in chunks
-        ]
-    else:
-        with _pool(jobs) as pool:
-            record_chunks = list(
-                pool.map(
-                    _evaluate_chunk,
-                    chunks,
-                    [spec] * len(chunks),
-                    [names] * len(chunks),
-                    [params] * len(chunks),
+    with obs.span("exp.run_sweep", points=len(pts), jobs=jobs) as sp:
+        if jobs == 1:
+            record_chunks = [
+                _evaluate_chunk(chunk, spec, names, params) for chunk in chunks
+            ]
+        else:
+            with _pool(jobs) as pool:
+                pairs = list(
+                    pool.map(
+                        _evaluate_chunk_telemetry,
+                        chunks,
+                        [spec] * len(chunks),
+                        [names] * len(chunks),
+                        [params] * len(chunks),
+                    )
                 )
-            )
+            record_chunks = [records for records, _ in pairs]
+            for _, snap in pairs:
+                obs.absorb(snap)
+    if obs.enabled():
+        obs.gauge("exp.points_per_s", len(pts) / max(sp.wall_s, 1e-9))
     records = [r for chunk in record_chunks for r in chunk]
     return SweepResult.from_records(records)
 

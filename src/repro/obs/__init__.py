@@ -1,0 +1,62 @@
+"""Unified telemetry: spans, counters and progress for the whole stack.
+
+Usage from any layer::
+
+    from repro import obs
+
+    with obs.span("sim.engine.run", samples=n) as sp:
+        ...
+    obs.counter("sim.trials", n)
+
+Everything is a no-op until :func:`enable` (the CLI does this once per
+invocation) or a :class:`scoped` region turns collection on, and the
+disabled path costs one global check per call — cheap enough to leave
+in hot loops (gated by ``benchmarks/bench_obs.py``).
+"""
+
+from repro.obs.core import (
+    SCHEMA_VERSION,
+    Telemetry,
+    absorb,
+    counter,
+    current,
+    current_elapsed,
+    disable,
+    enable,
+    enabled,
+    finish,
+    gauge,
+    merge_snapshots,
+    observe,
+    register_provider,
+    scoped,
+    snapshot,
+    span,
+)
+from repro.obs.render import render_profile
+from repro.obs.sinks import InMemorySink, JsonlSink, read_events, run_id
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Telemetry",
+    "absorb",
+    "counter",
+    "current",
+    "current_elapsed",
+    "disable",
+    "enable",
+    "enabled",
+    "finish",
+    "gauge",
+    "merge_snapshots",
+    "observe",
+    "register_provider",
+    "scoped",
+    "snapshot",
+    "span",
+    "render_profile",
+    "InMemorySink",
+    "JsonlSink",
+    "read_events",
+    "run_id",
+]

@@ -1,0 +1,478 @@
+"""Zero-dependency span tracer and process-global metrics registry.
+
+The observability substrate of the whole stack: every layer (sim
+engine, exp pipeline, workload fleet, shard runner, CLI) instruments
+its hot paths through the handful of module-level functions here —
+:func:`span`, :func:`counter`, :func:`gauge`, :func:`observe` — and the
+data lands in one process-global :class:`Telemetry` registry.
+
+Design constraints, in order:
+
+1. **Numerically invisible.**  Instrumentation only ever *reads*
+   clocks and *writes* telemetry state; it never touches a random
+   stream, an accumulator or an array.  Results are byte-identical
+   with telemetry enabled or disabled (asserted in
+   ``tests/test_obs_invariance.py``).
+2. **Cheap when disabled.**  Telemetry is off by default; the disabled
+   path of every primitive is one module-global check (``span`` returns
+   a shared no-op context manager, the metric functions return
+   immediately).  ``benchmarks/bench_obs.py`` gates the end-to-end
+   disabled overhead of an instrumented hot loop below a few percent.
+3. **Mergeable.**  :meth:`Telemetry.snapshot` is a JSON-safe dict and
+   :func:`merge_snapshots` folds two snapshots associatively (counter
+   sums, gauge rightmost-wins, histogram/span bucket sums, min/min,
+   max/max) — the same shape of algebra as the Welford accumulators —
+   so worker-process and shard snapshots fold into one coherent
+   profile in deterministic order.
+
+Spans
+-----
+``with span("exp.evaluate_points", points=180):`` opens a timed region
+on a thread-local stack.  On close it records wall time
+(``perf_counter``), CPU time (``process_time``) and self time (wall
+minus the wall of direct children), aggregates by *path* — the
+``/``-joined names of the enclosing spans — and emits one event to
+every registered sink.  Because the stack is thread-local, concurrent
+threads get independent nesting; because the aggregate is keyed by
+path, repeated spans (one per chunk, per point, per shard) collapse
+into count/total/min/max rows instead of unbounded lists.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Iterable, Mapping
+
+#: Version stamp of every snapshot and JSONL event (bump on breaking
+#: schema changes; consumers should check it).
+SCHEMA_VERSION = 1
+
+#: Histogram values at or below zero land in this bucket key.
+_ZERO_BUCKET = "le0"
+
+
+class _Stack(threading.local):
+    """Thread-local open-span stack."""
+
+    def __init__(self) -> None:  # pragma: no cover - trivial
+        self.spans: list[_SpanCtx] = []
+
+
+_stack = _Stack()
+_enabled = False
+
+
+def enabled() -> bool:
+    """True while telemetry collection is on (process-global)."""
+    return _enabled
+
+
+def _bucket(value: float) -> str:
+    """Log2 histogram bucket key of a positive value (associative sums)."""
+    if value <= 0.0:
+        return _ZERO_BUCKET
+    return str(math.frexp(value)[1])  # exponent e with 0.5 <= m < 1
+
+
+class Telemetry:
+    """Registry of counters, gauges, histograms and span aggregates.
+
+    One instance is process-global (:func:`current`); worker processes
+    and shard runs build scoped instances (:func:`scoped`) whose
+    snapshots are folded back with :func:`merge_snapshots` /
+    :meth:`absorb`.  All mutating methods are cheap dict updates; the
+    module-level helpers guard them behind :func:`enabled`.
+    """
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, object] = {}
+        self.hists: dict[str, dict] = {}
+        self.spans: dict[str, dict] = {}
+        self.sinks: list = []
+        # provider name -> monotonic-counter baseline at registry birth,
+        # so snapshots report deltas attributable to this scope only
+        self._provider_base: dict[str, dict[str, float]] = {
+            name: dict(fn()) for name, fn in _providers.items()
+        }
+
+    # -- metric primitives -------------------------------------------------
+
+    def counter_add(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge_set(self, name: str, value: object) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        h = self.hists.get(name)
+        if h is None:
+            h = self.hists[name] = {
+                "count": 0,
+                "sum": 0.0,
+                "min": math.inf,
+                "max": -math.inf,
+                "buckets": {},
+            }
+        h["count"] += 1
+        h["sum"] += float(value)
+        if value < h["min"]:
+            h["min"] = float(value)
+        if value > h["max"]:
+            h["max"] = float(value)
+        b = _bucket(value)
+        h["buckets"][b] = h["buckets"].get(b, 0) + 1
+
+    def record_span(
+        self,
+        path: str,
+        wall_s: float,
+        cpu_s: float,
+        self_s: float,
+        attrs: Mapping[str, object] | None,
+    ) -> None:
+        agg = self.spans.get(path)
+        if agg is None:
+            agg = self.spans[path] = {
+                "count": 0,
+                "wall_s": 0.0,
+                "cpu_s": 0.0,
+                "self_s": 0.0,
+                "min_s": math.inf,
+                "max_s": -math.inf,
+            }
+        agg["count"] += 1
+        agg["wall_s"] += wall_s
+        agg["cpu_s"] += cpu_s
+        agg["self_s"] += self_s
+        if wall_s < agg["min_s"]:
+            agg["min_s"] = wall_s
+        if wall_s > agg["max_s"]:
+            agg["max_s"] = wall_s
+        if self.sinks:
+            event = {
+                "v": SCHEMA_VERSION,
+                "type": "span",
+                "path": path,
+                "wall_s": wall_s,
+                "cpu_s": cpu_s,
+                "self_s": self_s,
+            }
+            if attrs:
+                event["attrs"] = dict(attrs)
+            for sink in self.sinks:
+                sink.event(event)
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe state dump, provider deltas folded into counters."""
+        counters = dict(self.counters)
+        for name, fn in _providers.items():
+            base = self._provider_base.get(name, {})
+            for key, value in fn().items():
+                delta = value - base.get(key, 0)
+                if delta:
+                    full = f"{name}.{key}"
+                    counters[full] = counters.get(full, 0) + delta
+        return {
+            "version": SCHEMA_VERSION,
+            "counters": counters,
+            "gauges": dict(self.gauges),
+            "hists": {k: _copy_hist(h) for k, h in self.hists.items()},
+            "spans": {k: dict(a) for k, a in self.spans.items()},
+        }
+
+    def absorb(self, snapshot: Mapping | None) -> None:
+        """Fold a snapshot (worker, shard) into this live registry."""
+        if not snapshot:
+            return
+        merged = merge_snapshots(self.snapshot(), snapshot)
+        # re-subtract provider deltas the snapshot() call just added,
+        # so the next snapshot() does not double-count them
+        for name, fn in _providers.items():
+            base = self._provider_base.get(name, {})
+            for key, value in fn().items():
+                delta = value - base.get(key, 0)
+                if delta:
+                    full = f"{name}.{key}"
+                    merged["counters"][full] = merged["counters"].get(full, 0) - delta
+                    if not merged["counters"][full]:
+                        del merged["counters"][full]
+        self.counters = merged["counters"]
+        self.gauges = merged["gauges"]
+        self.hists = merged["hists"]
+        self.spans = merged["spans"]
+
+
+def _copy_hist(h: Mapping) -> dict:
+    out = dict(h)
+    out["buckets"] = dict(h["buckets"])
+    return out
+
+
+def merge_snapshots(a: Mapping | None, b: Mapping | None) -> dict:
+    """Associatively fold two snapshots (``a`` first, ``b`` second).
+
+    Counters and histogram/span accumulations add, mins/maxes combine,
+    gauges are rightmost-wins — every per-key rule is associative, so
+    folding worker or shard snapshots in any grouping yields the same
+    profile (float sums up to rounding; counts exactly).
+    """
+    if not a:
+        return dict(b) if b else _empty_snapshot()
+    if not b:
+        return dict(a)
+    out = _empty_snapshot()
+    out["counters"] = dict(a.get("counters", {}))
+    for key, value in b.get("counters", {}).items():
+        out["counters"][key] = out["counters"].get(key, 0) + value
+    out["gauges"] = {**a.get("gauges", {}), **b.get("gauges", {})}
+    out["hists"] = {k: _copy_hist(h) for k, h in a.get("hists", {}).items()}
+    for key, h in b.get("hists", {}).items():
+        cur = out["hists"].get(key)
+        if cur is None:
+            out["hists"][key] = _copy_hist(h)
+            continue
+        cur["count"] += h["count"]
+        cur["sum"] += h["sum"]
+        cur["min"] = min(cur["min"], h["min"])
+        cur["max"] = max(cur["max"], h["max"])
+        for bk, n in h["buckets"].items():
+            cur["buckets"][bk] = cur["buckets"].get(bk, 0) + n
+    out["spans"] = {k: dict(s) for k, s in a.get("spans", {}).items()}
+    for key, s in b.get("spans", {}).items():
+        cur = out["spans"].get(key)
+        if cur is None:
+            out["spans"][key] = dict(s)
+            continue
+        cur["count"] += s["count"]
+        cur["wall_s"] += s["wall_s"]
+        cur["cpu_s"] += s["cpu_s"]
+        cur["self_s"] += s["self_s"]
+        cur["min_s"] = min(cur["min_s"], s["min_s"])
+        cur["max_s"] = max(cur["max_s"], s["max_s"])
+    return out
+
+
+def _empty_snapshot() -> dict:
+    return {
+        "version": SCHEMA_VERSION,
+        "counters": {},
+        "gauges": {},
+        "hists": {},
+        "spans": {},
+    }
+
+
+# -- span context managers -----------------------------------------------------
+
+
+class _NullSpan:
+    """Shared no-op span (telemetry disabled): free to enter and exit."""
+
+    __slots__ = ()
+    wall_s = 0.0
+    cpu_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """No-op attribute update."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanCtx:
+    """One open span: timing state plus child-time accounting."""
+
+    __slots__ = ("name", "attrs", "_t0", "_c0", "_child", "wall_s", "cpu_s", "_path")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self._child = 0.0
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+
+    def set(self, **attrs) -> None:
+        """Attach or update span attributes after entry."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanCtx":
+        stack = _stack.spans
+        parent = stack[-1]._path if stack else ""
+        self._path = f"{parent}/{self.name}" if parent else self.name
+        stack.append(self)
+        self._c0 = time.process_time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._c0
+        self.wall_s = wall
+        self.cpu_s = cpu
+        stack = _stack.spans
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            stack[-1]._child += wall
+        if _enabled:
+            _registry.record_span(
+                self._path, wall, cpu, max(wall - self._child, 0.0), self.attrs
+            )
+        return False
+
+
+def span(name: str, **attrs):
+    """A timed region: ``with span("sim.engine.run", samples=n): ...``.
+
+    Returns a shared no-op context manager while telemetry is disabled,
+    so instrumenting a hot path costs one call and one global check.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _SpanCtx(name, attrs)
+
+
+def current_elapsed() -> float:
+    """Wall seconds since the outermost open span started (0 if none)."""
+    stack = _stack.spans
+    if not stack:
+        return 0.0
+    return time.perf_counter() - stack[0]._t0
+
+
+# -- module-level registry plumbing --------------------------------------------
+
+#: Registered monotonic-counter providers: name -> zero-arg callable
+#: returning a flat {key: number} dict (e.g. lru_cache hit counts).
+#: Snapshots report *deltas* against the registry-creation baseline, so
+#: provider counters sum correctly across worker/shard snapshots.
+_providers: dict[str, Callable[[], Mapping[str, float]]] = {}
+
+_registry = Telemetry()
+
+
+def register_provider(name: str, fn: Callable[[], Mapping[str, float]]) -> None:
+    """Register a monotonic-counter provider under ``name``.
+
+    Idempotent per name (re-registering replaces the callable); the
+    provider is sampled when a registry is created (baseline) and when
+    it snapshots (delta).
+    """
+    _providers[str(name)] = fn
+
+
+def current() -> Telemetry:
+    """The live registry of this process (scoped registries swap it)."""
+    return _registry
+
+
+def counter(name: str, value: float = 1) -> None:
+    """Add ``value`` to a named counter (no-op while disabled)."""
+    if _enabled:
+        _registry.counter_add(name, value)
+
+
+def gauge(name: str, value: object) -> None:
+    """Set a named gauge (no-op while disabled)."""
+    if _enabled:
+        _registry.gauge_set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation (no-op while disabled)."""
+    if _enabled:
+        _registry.observe(name, value)
+
+
+def enable(sinks: Iterable | None = None) -> Telemetry:
+    """Start collection into a fresh registry; returns it."""
+    global _registry, _enabled
+    _registry = Telemetry()
+    if sinks:
+        _registry.sinks = list(sinks)
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Stop collection (the registry keeps its data for inspection)."""
+    global _enabled
+    _enabled = False
+
+
+def snapshot() -> dict | None:
+    """Snapshot of the live registry, or None while disabled."""
+    if not _enabled:
+        return None
+    return _registry.snapshot()
+
+
+def absorb(snap: Mapping | None) -> None:
+    """Fold a worker/shard snapshot into the live registry."""
+    if _enabled and snap:
+        _registry.absorb(snap)
+
+
+def finish() -> dict | None:
+    """Final snapshot: flush to sinks, close them, disable collection."""
+    global _enabled
+    if not _enabled:
+        return None
+    snap = _registry.snapshot()
+    for sink in _registry.sinks:
+        sink.event({"v": SCHEMA_VERSION, "type": "metrics", "snapshot": snap})
+        close = getattr(sink, "close", None)
+        if close:
+            close()
+    _registry.sinks = []
+    _enabled = False
+    return snap
+
+
+class scoped:
+    """Collect into a fresh registry for a code region, then restore.
+
+    The worker/shard discipline: a forked worker inherits the parent's
+    enabled flag *and* a copy of its registry, so recording directly
+    would double-count the pre-fork data when snapshots are folded
+    back.  ``with scoped() as reg:`` swaps in an empty registry (with
+    fresh provider baselines), forces collection on, and restores the
+    previous registry and flag on exit; ``reg.snapshot()`` then holds
+    exactly the region's delta.
+    """
+
+    def __init__(self, sinks: Iterable | None = None) -> None:
+        self._sinks = list(sinks) if sinks else []
+
+    def __enter__(self) -> Telemetry:
+        global _registry, _enabled
+        self._prev = (_registry, _enabled)
+        _registry = Telemetry()
+        _registry.sinks = self._sinks
+        _enabled = True
+        return _registry
+
+    def __exit__(self, *exc) -> bool:
+        global _registry, _enabled
+        reg = _registry
+        if reg.sinks:
+            snap = reg.snapshot()
+            for sink in reg.sinks:
+                sink.event({"v": SCHEMA_VERSION, "type": "metrics", "snapshot": snap})
+                close = getattr(sink, "close", None)
+                if close:
+                    close()
+        reg.sinks = []
+        _registry, _enabled = self._prev
+        return False

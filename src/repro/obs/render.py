@@ -1,0 +1,71 @@
+"""Human rendering of a telemetry snapshot: span tree + top counters.
+
+``repro … --profile`` prints this to stderr after the subcommand
+finishes, keeping stdout byte-identical to a telemetry-off run.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def _tree_rows(spans: Mapping[str, Mapping]) -> list[tuple[int, str, Mapping]]:
+    """Span aggregates as (depth, leaf-name, agg) rows in path order."""
+    rows = []
+    for path in sorted(spans):
+        parts = path.split("/")
+        rows.append((len(parts) - 1, parts[-1], spans[path]))
+    return rows
+
+
+def render_profile(snapshot: Mapping | None, top: int = 12) -> str:
+    """The profile report: indented span forest, then top counters/gauges."""
+    if not snapshot:
+        return "(no telemetry collected)"
+    lines = []
+    spans = snapshot.get("spans", {})
+    if spans:
+        total = max(
+            (a["wall_s"] for p, a in spans.items() if "/" not in p), default=0.0
+        )
+        lines.append("span tree (count, total wall, self wall):")
+        for depth, name, agg in _tree_rows(spans):
+            pct = 100.0 * agg["wall_s"] / total if total > 0 else 0.0
+            lines.append(
+                f"  {'  ' * depth}{name:<{max(30 - 2 * depth, 8)}} "
+                f"x{agg['count']:<6d} {_fmt_s(agg['wall_s'])}  "
+                f"self {_fmt_s(agg['self_s'])}  {pct:5.1f}%"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("top counters:")
+        ranked = sorted(counters.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+        for name, value in ranked[:top]:
+            shown = f"{value:.0f}" if float(value).is_integer() else f"{value:.4g}"
+            lines.append(f"  {name:<44} {shown:>14}")
+        if len(ranked) > top:
+            lines.append(f"  … {len(ranked) - top} more")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for name in sorted(gauges):
+            value = gauges[name]
+            shown = f"{value:.4g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<44} {shown:>14}")
+    hists = snapshot.get("hists", {})
+    if hists:
+        lines.append("histograms (count, mean, min, max):")
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"  {name:<36} x{h['count']:<8d} {mean:10.4g} "
+                f"{h['min']:10.4g} {h['max']:10.4g}"
+            )
+    return "\n".join(lines) if lines else "(no telemetry collected)"

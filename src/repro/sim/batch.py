@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 #: Trials per child random stream (and per kernel call in spawn mode).
 DEFAULT_STREAM_BLOCK = 4096
 
@@ -162,4 +164,5 @@ def spawn_block_streams(
     children as spawning everything upfront, which is what makes the
     chunked engine reproducible.
     """
+    obs.counter("sim.rng_blocks", n_blocks)
     return root.spawn(n_blocks)

@@ -31,9 +31,11 @@ same seed.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from repro import obs
 from repro.sim.accumulators import MomentSet, StreamingMoments
 from repro.sim.batch import (
     DEFAULT_MAX_TRIALS_PER_CHUNK,
@@ -150,22 +152,37 @@ class MonteCarloEngine:
         raw: dict | None = (
             {name: [] for name in self.kernel.metrics} if collect else None
         )
-
-        for chunk in chunks:
-            if self.kernel.stream_mode == "shared":
-                batches = [self.kernel.sample(root, chunk.trials)]
-            else:
-                widths = block_sizes(chunk, self.stream_block)
-                streams = spawn_block_streams(root, len(widths))
-                batches = [
-                    self.kernel.sample(stream, width)
-                    for stream, width in zip(streams, widths)
-                ]
-            for batch in batches:
-                acc.update(batch)
-                if raw is not None:
-                    for name in self.kernel.metrics:
-                        raw[name].append(np.asarray(batch[name]))
+        # Hoist the telemetry check: the chunk loop pays per-*block*
+        # clock reads only while collection is on (bench_obs.py gates
+        # the disabled path), and timing never touches the numerics.
+        timed = obs.enabled()
+        with obs.span(
+            "sim.engine.run", kernel=type(self.kernel).__name__, samples=samples
+        ) as sp:
+            n_blocks = 0
+            for chunk in chunks:
+                if self.kernel.stream_mode == "shared":
+                    streams, widths = [root], [chunk.trials]
+                else:
+                    widths = block_sizes(chunk, self.stream_block)
+                    streams = spawn_block_streams(root, len(widths))
+                n_blocks += len(widths)
+                for stream, width in zip(streams, widths):
+                    if timed:
+                        t0 = perf_counter()
+                        batch = self.kernel.sample(stream, width)
+                        obs.observe("sim.block_s", perf_counter() - t0)
+                    else:
+                        batch = self.kernel.sample(stream, width)
+                    acc.update(batch)
+                    if raw is not None:
+                        for name in self.kernel.metrics:
+                            raw[name].append(np.asarray(batch[name]))
+        if timed:
+            obs.counter("sim.trials", samples)
+            obs.counter("sim.blocks", n_blocks)
+            obs.counter("sim.chunks", len(chunks))
+            obs.gauge("sim.trials_per_s", samples / max(sp.wall_s, 1e-9))
 
         metrics = {
             name: MetricSummary.from_moments(acc[name])
@@ -221,14 +238,32 @@ def run_block_moments(
     root = resolve_rng(rng)
     streams = spawn_block_streams(root, stop)[start:]
     out: list[dict[str, tuple[int, float, float]]] = []
-    for index, stream in zip(range(start, stop), streams):
-        batch = kernel.sample(stream, block_width(index, samples, stream_block))
-        states = {}
-        for name in kernel.metrics:
-            moments = StreamingMoments()
-            moments.update(batch[name])
-            states[name] = moments.state()
-        out.append(states)
+    timed = obs.enabled()
+    trials_done = 0
+    with obs.span(
+        "sim.run_block_moments",
+        kernel=type(kernel).__name__,
+        blocks=stop - start,
+    ) as sp:
+        for index, stream in zip(range(start, stop), streams):
+            width = block_width(index, samples, stream_block)
+            if timed:
+                t0 = perf_counter()
+                batch = kernel.sample(stream, width)
+                obs.observe("sim.block_s", perf_counter() - t0)
+            else:
+                batch = kernel.sample(stream, width)
+            trials_done += width
+            states = {}
+            for name in kernel.metrics:
+                moments = StreamingMoments()
+                moments.update(batch[name])
+                states[name] = moments.state()
+            out.append(states)
+    if timed:
+        obs.counter("sim.trials", trials_done)
+        obs.counter("sim.blocks", stop - start)
+        obs.gauge("sim.trials_per_s", trials_done / max(sp.wall_s, 1e-9))
     return out
 
 

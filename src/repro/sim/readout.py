@@ -48,6 +48,8 @@ from scipy.linalg import lu_factor, lu_solve
 from scipy.sparse import coo_matrix
 from scipy.sparse.linalg import splu
 
+from repro import obs
+
 __all__ = [
     "BankCache",
     "DistributedBank",
@@ -329,6 +331,7 @@ class IdealBank:
         """Green's-function columns (gauge: node 0 grounded) for ``nodes``."""
         if self._lu is None:
             self._lu = lu_factor(self.lap[1:, 1:])
+            obs.counter("readout.factorizations.lu")
         n = self.rows + self.cols
         rhs = np.zeros((n - 1, nodes.size))
         inner = nodes > 0
@@ -447,6 +450,7 @@ class DistributedBank:
         """Green's-function columns (gauge: node 0 grounded) for ``nodes``."""
         if self._green is None:
             self._green = splu(self.lap[1:, :][:, 1:].tocsc())
+            obs.counter("readout.factorizations.splu")
         rhs = np.zeros((self.n_nodes - 1, nodes.size))
         inner = nodes > 0
         rhs[nodes[inner] - 1, np.nonzero(inner)[0]] = 1.0
@@ -471,6 +475,8 @@ class DistributedBank:
             free = np.nonzero(free_mask)[0]
             reduced = self.lap[free, :]
             lu = splu(reduced[:, free].tocsc()) if free.size else None
+            if lu is not None:
+                obs.counter("readout.factorizations.splu")
             self._biased = (fixed, free, lu, reduced[:, fixed])
         return self._biased
 

@@ -45,10 +45,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.crossbar.array import AddressingFault, CrossbarArray
 from repro.crossbar.ecc import EccError, decode_blocks
 from repro.crossbar.readout import ReadoutError, ReadoutModel
@@ -216,7 +218,13 @@ def run_electrical_batched(
     read_bits = np.zeros((inst, trace.reads), dtype=bool)
 
     read_off = 0
+    # Segment-phase accounting mirrors the ideal batched path: clock
+    # reads only while telemetry is on, accumulated locally and folded
+    # into counters once at the end.
+    timed = obs.enabled()
+    read_s = write_s = 0.0
     for start in range(0, n, chunk_size):
+        t_chunk = perf_counter() if timed else 0.0
         stop = min(start + chunk_size, n)
         a = trace.addresses[start:stop]
         w = trace.is_write[start:stop]
@@ -263,6 +271,7 @@ def run_electrical_batched(
             dig = digests[i]
             w_cursor = 0
             for seg_start, seg_stop, seg_is_write in segments:
+                t_seg = perf_counter() if timed else 0.0
                 seg_a = a[seg_start:seg_stop]
                 seg_valid = seg_a < cap
                 if seg_is_write:
@@ -274,6 +283,8 @@ def run_electrical_batched(
                     w_cursor += k
                     av = seg_a[seg_valid]
                     if not av.size:
+                        if timed:
+                            write_s += perf_counter() - t_seg
                         continue
                     # last write per address wins within the run
                     order = np.argsort(av, kind="stable")
@@ -298,6 +309,8 @@ def run_electrical_batched(
                         ) // per
                         for bid in np.unique(bids):
                             dig.pop(int(bid), None)
+                    if timed:
+                        write_s += perf_counter() - t_seg
                     continue
 
                 # read segment: sense every valid crosspoint through the
@@ -305,6 +318,8 @@ def run_electrical_batched(
                 ridx = r_index[seg_start:seg_stop]
                 vr = np.flatnonzero(seg_valid)
                 if not vr.size:
+                    if timed:
+                        read_s += perf_counter() - t_seg
                     continue
                 av = seg_a[vr]
                 ridx_v = ridx[vr]
@@ -371,7 +386,22 @@ def run_electrical_batched(
                     val_s[unc_s] = False
                     ecc_masked[i] += int(((n_mis > 0) & (val == val_s)).sum())
                     read_bits[i, ridx_v] = val
+                if timed:
+                    read_s += perf_counter() - t_seg
         read_off += int((~w).sum())
+        if timed:
+            obs.observe("workload.chunk_s", perf_counter() - t_chunk)
+
+    if timed:
+        obs.counter("workload.chunks", -(-n // chunk_size))
+        obs.counter("workload.read_s", read_s)
+        obs.counter("workload.write_s", write_s)
+        # fold the run's bank-cache outcome into the profile (zero
+        # hot-path cost: one stats() read at the end)
+        stats = cache.stats()
+        obs.counter("workload.bank_cache.hits", stats["hits"])
+        obs.counter("workload.bank_cache.misses", stats["misses"])
+        obs.counter("workload.bank_cache.evictions", stats["evictions"])
 
     return _finish_electrical(
         fleet,

@@ -36,10 +36,12 @@ shared-stream kernels rely on).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.codes.base import CodeSpace
 from repro.crossbar.defects import DefectMap, sample_layer_mask
 from repro.crossbar.ecc import EccError, SecdedCode, decode_blocks
@@ -351,32 +353,50 @@ class MemoryFleet:
             if write_error_rate > 0
             else [None] * self.instances
         )
-        if readout is not None:
-            return self._run_electrical(
-                trace,
-                method,
-                chunk_size,
-                err_streams,
-                write_error_rate,
-                readout,
-                collect_reads,
-                collect_state,
-                collect_margins,
-            )
-        if method == "batched":
-            return self._run_batched(
-                trace,
-                chunk_size,
-                err_streams,
-                write_error_rate,
-                collect_reads,
-                collect_state,
-            )
-        if method != "loop":
-            raise ValueError(f"unknown method {method!r}; use 'batched' or 'loop'")
-        return self._run_loop(
-            trace, err_streams, write_error_rate, collect_reads, collect_state
-        )
+        with obs.span(
+            "workload.run",
+            trace=trace.name,
+            accesses=trace.accesses,
+            instances=self.instances,
+            method=method,
+            electrical=readout is not None,
+        ) as sp:
+            if readout is not None:
+                result = self._run_electrical(
+                    trace,
+                    method,
+                    chunk_size,
+                    err_streams,
+                    write_error_rate,
+                    readout,
+                    collect_reads,
+                    collect_state,
+                    collect_margins,
+                )
+            elif method == "batched":
+                result = self._run_batched(
+                    trace,
+                    chunk_size,
+                    err_streams,
+                    write_error_rate,
+                    collect_reads,
+                    collect_state,
+                )
+            elif method != "loop":
+                raise ValueError(
+                    f"unknown method {method!r}; use 'batched' or 'loop'"
+                )
+            else:
+                result = self._run_loop(
+                    trace, err_streams, write_error_rate, collect_reads, collect_state
+                )
+        if obs.enabled():
+            total = trace.accesses * self.instances
+            obs.counter("workload.accesses", total)
+            obs.counter("workload.reads", trace.reads * self.instances)
+            obs.counter("workload.writes", trace.writes * self.instances)
+            obs.gauge("workload.accesses_per_s", total / max(sp.wall_s, 1e-9))
+        return result
 
     # -- electrical path -------------------------------------------------------
 
@@ -464,8 +484,15 @@ class MemoryFleet:
         )
         arange_bb = np.arange(bb)
         read_off = 0
+        # Phase accounting (forwarding setup / read gather / write
+        # scatter) pays clock reads only while telemetry is on; the
+        # accumulators live outside the loop so the chunk loop itself
+        # stays allocation-free.
+        timed = obs.enabled()
+        forward_s = read_s = write_s = 0.0
 
         for start in range(0, n, chunk_size):
+            t_chunk = perf_counter() if timed else 0.0
             stop = min(start + chunk_size, n)
             length = stop - start
             a = trace.addresses[start:stop]
@@ -505,6 +532,8 @@ class MemoryFleet:
                     clean_blocks_w = np.where(vw[:, None], self._enc[1], self._enc[0])
                     if p == 0:
                         shared_blocks_s = clean_blocks_w[order]
+            if timed:
+                forward_s += perf_counter() - t_chunk
 
             for i in range(inst):
                 cap = int(caps[i])
@@ -534,6 +563,7 @@ class MemoryFleet:
 
                 # reads: pre-chunk snapshot gather + forwarding overrides
                 if n_r:
+                    t_read = perf_counter() if timed else 0.0
                     val = np.zeros(n_r, dtype=bool)
                     rv = ar < cap
                     if rv.any():
@@ -559,10 +589,13 @@ class MemoryFleet:
                         val[rv] = val_v
                     if read_bits is not None:
                         read_bits[i, read_off : read_off + n_r] = val
+                    if timed:
+                        read_s += perf_counter() - t_read
 
                 # writes: last write per address wins (sequential
                 # semantics), deterministic scatter on unique addresses
                 if n_w:
+                    t_write = perf_counter() if timed else 0.0
                     wsel = last & (aw_s < cap)
                     if wsel.any():
                         if code is None:
@@ -570,7 +603,17 @@ class MemoryFleet:
                         else:
                             phys = remap[aw_s[wsel][:, None] * bb + arange_bb]
                             st[phys] = blocks_s[wsel]
+                    if timed:
+                        write_s += perf_counter() - t_write
             read_off += n_r
+            if timed:
+                obs.observe("workload.chunk_s", perf_counter() - t_chunk)
+
+        if timed:
+            obs.counter("workload.chunks", -(-n // chunk_size))
+            obs.counter("workload.forward_s", forward_s)
+            obs.counter("workload.read_s", read_s)
+            obs.counter("workload.write_s", write_s)
 
         return self._finish(
             trace,

@@ -1,0 +1,311 @@
+"""Unit and property tests of the telemetry substrate (:mod:`repro.obs`).
+
+Covers the span tracer (nesting, path aggregation, self time), the
+metric registry (counters, gauges, histograms, providers, scoped
+isolation), the sinks (in-memory, JSONL event stream, run ids) and the
+profile renderer — plus hypothesis property tests that
+:func:`repro.obs.merge_snapshots` is associative, mirroring the
+accumulator algebra of ``test_accumulators_property.py``: integer
+fields (counts, buckets) merge exactly, float accumulations up to
+rounding.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs import InMemorySink, JsonlSink, read_events, run_id
+from repro.obs.core import Telemetry, merge_snapshots
+from repro.obs.render import render_profile
+
+
+@pytest.fixture()
+def scoped_registry():
+    """A fresh enabled registry for one test, restored afterwards."""
+    with obs.scoped() as reg:
+        yield reg
+    assert not obs.enabled()
+
+
+class TestSpans:
+    def test_disabled_span_is_shared_noop(self):
+        assert not obs.enabled()
+        a = obs.span("x")
+        b = obs.span("y", attr=1)
+        assert a is b
+        with a as sp:
+            sp.set(more=2)
+        assert sp.wall_s == 0.0
+        assert sp.cpu_s == 0.0
+
+    def test_nested_spans_aggregate_by_path(self, scoped_registry):
+        with obs.span("outer"):
+            for _ in range(3):
+                with obs.span("inner"):
+                    pass
+        snap = scoped_registry.snapshot()
+        assert set(snap["spans"]) == {"outer", "outer/inner"}
+        assert snap["spans"]["outer"]["count"] == 1
+        assert snap["spans"]["outer/inner"]["count"] == 3
+
+    def test_self_time_excludes_children(self, scoped_registry):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        spans = scoped_registry.snapshot()["spans"]
+        outer = spans["outer"]
+        assert 0.0 <= outer["self_s"] <= outer["wall_s"]
+        inner_wall = spans["outer/inner"]["wall_s"]
+        assert outer["self_s"] == pytest.approx(
+            outer["wall_s"] - inner_wall, abs=1e-6
+        )
+
+    def test_span_wall_time_and_attrs(self, scoped_registry):
+        with obs.span("timed", points=7) as sp:
+            sp.set(extra="yes")
+        assert sp.wall_s > 0.0
+        assert sp.attrs == {"points": 7, "extra": "yes"}
+        agg = scoped_registry.snapshot()["spans"]["timed"]
+        assert agg["min_s"] <= agg["wall_s"] <= agg["max_s"] * agg["count"]
+
+    def test_current_elapsed_outside_any_span_is_zero(self):
+        assert obs.current_elapsed() == 0.0
+
+
+class TestRegistry:
+    def test_metrics_are_noops_while_disabled(self):
+        assert not obs.enabled()
+        before = dict(obs.current().counters)
+        obs.counter("nope")
+        obs.gauge("nope", 1)
+        obs.observe("nope", 1.0)
+        assert obs.current().counters == before
+        assert obs.snapshot() is None
+
+    def test_counters_gauges_histograms(self, scoped_registry):
+        obs.counter("c", 2)
+        obs.counter("c")
+        obs.gauge("g", "label")
+        obs.gauge("g", 4.5)
+        for v in (0.5, 1.5, 0.0):
+            obs.observe("h", v)
+        snap = scoped_registry.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["gauges"]["g"] == 4.5
+        h = snap["hists"]["h"]
+        assert h["count"] == 3
+        assert h["sum"] == pytest.approx(2.0)
+        assert (h["min"], h["max"]) == (0.0, 1.5)
+        assert sum(h["buckets"].values()) == 3
+        assert h["buckets"]["le0"] == 1
+
+    def test_scoped_restores_previous_registry(self):
+        with obs.scoped() as outer:
+            obs.counter("outer.only")
+            with obs.scoped() as inner:
+                obs.counter("inner.only")
+            assert obs.current() is outer
+            assert "inner.only" in inner.counters
+            assert "inner.only" not in outer.counters
+            assert obs.enabled()
+        assert not obs.enabled()
+
+    def test_provider_deltas_and_absorb_no_double_count(self):
+        state = {"hits": 10}
+        obs.register_provider("testprov", lambda: dict(state))
+        try:
+            with obs.scoped() as reg:
+                state["hits"] = 25
+                snap = reg.snapshot()
+                assert snap["counters"]["testprov.hits"] == 15
+                # absorbing a worker snapshot must not re-add the live
+                # provider delta on the next snapshot
+                obs.absorb({"version": 1, "counters": {"testprov.hits": 7},
+                            "gauges": {}, "hists": {}, "spans": {}})
+                assert reg.snapshot()["counters"]["testprov.hits"] == 22
+                state["hits"] = 30
+                assert reg.snapshot()["counters"]["testprov.hits"] == 27
+        finally:
+            from repro.obs import core
+
+            core._providers.pop("testprov", None)
+
+    def test_finish_flushes_to_sinks_and_disables(self):
+        sink = InMemorySink()
+        obs.enable(sinks=[sink])
+        obs.counter("done", 1)
+        snap = obs.finish()
+        assert not obs.enabled()
+        assert snap["counters"]["done"] == 1
+        assert sink.snapshots and sink.snapshots[-1]["counters"]["done"] == 1
+        assert obs.finish() is None
+
+
+class TestSinks:
+    def test_run_id_is_content_keyed(self):
+        a = run_id({"command": "sweep", "jobs": 4})
+        b = run_id({"jobs": 4, "command": "sweep"})
+        assert a == b and len(a) == 12
+        assert run_id({"command": "memsim"}) != a
+
+    def test_in_memory_sink_routes_events(self):
+        sink = InMemorySink()
+        with obs.scoped(sinks=[sink]):
+            with obs.span("a"):
+                pass
+        assert [e["path"] for e in sink.spans] == ["a"]
+        assert sink.snapshots  # scoped exit flushes a metrics snapshot
+
+    def test_jsonl_sink_event_stream(self, tmp_path):
+        path = tmp_path / "t" / "telemetry.jsonl"
+        sink = JsonlSink(path, meta={"command": "unittest"})
+        with obs.scoped(sinks=[sink]):
+            obs.counter("c", 5)
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        events = read_events(path)
+        kinds = [e["type"] for e in events]
+        assert kinds == ["run", "span", "span", "metrics"]
+        header = events[0]
+        assert header["v"] == obs.SCHEMA_VERSION
+        assert header["run"] == run_id({"command": "unittest"})
+        # spans close innermost-first, with full paths
+        assert [e["path"] for e in events[1:3]] == ["outer/inner", "outer"]
+        assert events[-1]["snapshot"]["counters"]["c"] == 5
+        # one self-contained JSON document per line
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestRenderer:
+    def test_render_empty(self):
+        assert "no telemetry" in render_profile(None)
+        t = Telemetry()
+        assert "no telemetry" in render_profile(t.snapshot())
+
+    def test_render_tree_and_counters(self):
+        with obs.scoped() as reg:
+            with obs.span("cli.sweep"):
+                with obs.span("exp.run_sweep"):
+                    pass
+            obs.counter("exp.points", 42)
+            obs.gauge("exp.points_per_s", 7.5)
+            obs.observe("sim.block_s", 0.25)
+            snap = reg.snapshot()
+        text = render_profile(snap)
+        assert "cli.sweep" in text
+        assert "exp.run_sweep" in text
+        # nested span is indented under its parent
+        tree_lines = [ln for ln in text.splitlines() if "exp.run_sweep" in ln]
+        assert tree_lines[0].startswith("    ")
+        assert "exp.points" in text and "42" in text
+        assert "exp.points_per_s" in text
+        assert "sim.block_s" in text
+
+    def test_render_top_counter_overflow(self):
+        with obs.scoped() as reg:
+            for i in range(20):
+                obs.counter(f"c{i:02d}", i + 1)
+            snap = reg.snapshot()
+        text = render_profile(snap, top=5)
+        assert "more" in text
+
+
+# -- merge_snapshots property tests --------------------------------------------
+
+_names = st.sampled_from(["alpha", "beta", "gamma"])
+_counter_ops = st.lists(
+    st.tuples(_names, st.integers(min_value=-100, max_value=100)), max_size=12
+)
+_hist_ops = st.lists(
+    st.tuples(
+        _names,
+        st.floats(
+            min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+        ),
+    ),
+    max_size=12,
+)
+_span_ops = st.lists(
+    st.tuples(
+        _names,
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+    ),
+    max_size=8,
+)
+
+
+@st.composite
+def snapshots(draw):
+    t = Telemetry()
+    for name, value in draw(_counter_ops):
+        t.counter_add(name, value)
+    for name, value in draw(_hist_ops):
+        t.observe(name, value)
+    for name, wall, cpu in draw(_span_ops):
+        t.record_span(name, wall, cpu, wall, None)
+    for name in draw(st.lists(_names, max_size=3)):
+        t.gauge_set(name, draw(st.integers(0, 10)))
+    return t.snapshot()
+
+
+def assert_snapshots_close(a: dict, b: dict) -> None:
+    assert set(a["counters"]) == set(b["counters"])
+    for key in a["counters"]:
+        assert math.isclose(
+            a["counters"][key], b["counters"][key], rel_tol=1e-9, abs_tol=1e-9
+        )
+    assert set(a["hists"]) == set(b["hists"])
+    for key in a["hists"]:
+        ha, hb = a["hists"][key], b["hists"][key]
+        # integer fields merge exactly
+        assert ha["count"] == hb["count"]
+        assert ha["buckets"] == hb["buckets"]
+        assert (ha["min"], ha["max"]) == (hb["min"], hb["max"])
+        assert math.isclose(ha["sum"], hb["sum"], rel_tol=1e-9, abs_tol=1e-9)
+    assert set(a["spans"]) == set(b["spans"])
+    for key in a["spans"]:
+        sa, sb = a["spans"][key], b["spans"][key]
+        assert sa["count"] == sb["count"]
+        assert (sa["min_s"], sa["max_s"]) == (sb["min_s"], sb["max_s"])
+        for field in ("wall_s", "cpu_s", "self_s"):
+            assert math.isclose(
+                sa[field], sb[field], rel_tol=1e-9, abs_tol=1e-9
+            )
+
+
+class TestMergeAlgebra:
+    @given(snapshots(), snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        left = merge_snapshots(merge_snapshots(a, b), c)
+        right = merge_snapshots(a, merge_snapshots(b, c))
+        assert_snapshots_close(left, right)
+
+    @given(snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_empty_is_identity(self, snap):
+        for empty in (None, {}):
+            assert_snapshots_close(merge_snapshots(empty, snap), snap)
+            assert_snapshots_close(merge_snapshots(snap, empty), snap)
+
+    @given(snapshots(), snapshots())
+    @settings(max_examples=60, deadline=None)
+    def test_counts_merge_exactly(self, a, b):
+        merged = merge_snapshots(a, b)
+        for key, h in merged["hists"].items():
+            expect = a["hists"].get(key, {}).get("count", 0) + b["hists"].get(
+                key, {}
+            ).get("count", 0)
+            assert h["count"] == expect
+        for key, s in merged["spans"].items():
+            expect = a["spans"].get(key, {}).get("count", 0) + b["spans"].get(
+                key, {}
+            ).get("count", 0)
+            assert s["count"] == expect
