@@ -1,0 +1,137 @@
+"""STORE — content-addressed result store: warm hits vs cold evaluation.
+
+Times one sweep request (``STORE_BENCH_FAMILIES`` x
+``STORE_BENCH_LENGTHS``; yield, area, margins and the sampled
+``marginmc`` metric, so cold pays real Monte-Carlo work) two ways
+through the :mod:`repro.api` facade:
+
+* **cold** — an empty :class:`repro.store.ResultStore` forces a full
+  engine evaluation, after which the records are committed;
+* **warm** — the same request again, now answered from the store:
+  digest lookup, entry verification (digest + result sha256) and
+  columnar reassembly, no engine work.
+
+The headline gate is ``hit_speedup = cold / warm`` — the store must
+answer a verified hit at least ``STORE_BENCH_MIN_SPEEDUP`` times
+faster than recomputing (the ISSUE's >= 10x acceptance floor at the
+default budget).
+
+Correctness is gated before any timing is trusted:
+
+* the warm result must equal the cold result **exactly** (columnar
+  ``==``: fields, dtypes and every value) — the byte-identity
+  acceptance criterion;
+* corrupting the committed entry must degrade to a miss that
+  recomputes the identical result and recommits (never serves bad
+  bytes).
+
+Environment knobs (see ``run_checks.sh``):
+
+* ``STORE_BENCH_FAMILIES``    — grid families   (default TC,GC,BGC)
+* ``STORE_BENCH_LENGTHS``     — grid lengths    (default 6,8,10)
+* ``STORE_BENCH_HITS``        — warm reps timed (default 20)
+* ``STORE_BENCH_MIN_SPEEDUP`` — asserted floor  (default 10.0)
+"""
+
+import os
+import time
+
+from repro import api
+from repro.analysis.report import render_table
+from repro.exp.cache import clear_caches
+from repro.exp.designpoint import design_grid
+from repro.store import ResultStore, reset_store_counters, store_counters
+
+FAMILIES = os.environ.get("STORE_BENCH_FAMILIES", "TC,GC,BGC").split(",")
+LENGTHS = [int(v) for v in os.environ.get("STORE_BENCH_LENGTHS", "6,8,10").split(",")]
+HITS = int(os.environ.get("STORE_BENCH_HITS", 20))
+MIN_SPEEDUP = float(os.environ.get("STORE_BENCH_MIN_SPEEDUP", 10.0))
+
+METRICS = ("yield", "area", "margins", "marginmc")
+
+
+def test_store_hit_speedup(benchmark, emit, emit_json, spec, tmp_path):
+    request = api.SweepRequest(
+        points=tuple(design_grid(FAMILIES, LENGTHS)),
+        metrics=METRICS,
+        spec=spec,
+    )
+    store = ResultStore(tmp_path / "store")
+    reset_store_counters()
+
+    def run_cold():
+        clear_caches()  # cold also pays construction, as a fresh process would
+        start = time.perf_counter()
+        result = api.evaluate(request, store=store)
+        return time.perf_counter() - start, result
+
+    def run_warm():
+        times = []
+        result = None
+        for _ in range(HITS):
+            start = time.perf_counter()
+            result = api.evaluate(request, store=store)
+            times.append(time.perf_counter() - start)
+        return times, result
+
+    def run_all():
+        cold_s, cold = run_cold()
+        warm_times, warm = run_warm()
+        return cold_s, cold, warm_times, warm
+
+    cold_s, cold, warm_times, warm = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    # correctness gate: every warm hit reproduces the cold result exactly
+    assert warm == cold, "store hit diverged from the cold evaluation"
+    counters = store_counters()
+    assert counters["hits"] >= HITS, f"expected {HITS} store hits, got {counters}"
+
+    # corruption gate: a tampered entry recomputes, never serves bad bytes
+    digest = api.request_digest(request)
+    path = store.object_path(digest)
+    path.write_text(path.read_text()[:100])
+    recomputed = api.evaluate(request, store=store)
+    assert recomputed == cold, "corrupted entry did not recompute identically"
+    assert store_counters()["corrupt"] >= 1
+    assert api.evaluate(request, store=store) == cold  # recommitted and hit
+
+    warm_s = sum(warm_times) / len(warm_times)
+    hit_speedup = cold_s / warm_s if warm_s else float("inf")
+
+    rows = [
+        ["cold evaluate + commit", f"{1000 * cold_s:.1f} ms", "1.0x"],
+        [
+            f"warm hit (mean of {HITS})",
+            f"{1000 * warm_s:.2f} ms",
+            f"{hit_speedup:.0f}x",
+        ],
+        ["  fastest hit", f"{1000 * min(warm_times):.2f} ms", ""],
+        ["  slowest hit", f"{1000 * max(warm_times):.2f} ms", ""],
+    ]
+    emit(
+        "store_hit_speedup",
+        f"Content-addressed store: warm hits vs cold evaluation "
+        f"({len(request.points)} points x {len(METRICS)} metrics)\n"
+        + render_table(["path", "wall clock", "speedup"], rows),
+    )
+    emit_json(
+        "store",
+        {
+            "points": len(request.points),
+            "metrics": len(METRICS),
+            "warm_reps": HITS,
+            "min_speedup": MIN_SPEEDUP,
+            "cold_s": cold_s,
+            "warm_hit_s": warm_s,
+            "warm_hit_best_s": min(warm_times),
+            "hit_speedup": hit_speedup,
+            "hits_per_s": 1.0 / warm_s if warm_s else 0.0,
+        },
+    )
+
+    assert hit_speedup >= MIN_SPEEDUP, (
+        f"store hit only {hit_speedup:.1f}x faster than cold evaluation "
+        f"over {len(request.points)} points (floor {MIN_SPEEDUP}x)"
+    )

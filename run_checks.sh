@@ -139,4 +139,19 @@ else
 fi
 
 echo
+echo "== result-store perf smoke =="
+if [[ "${FULL_BENCH:-0}" == "1" ]]; then
+    # acceptance protocol: warm store hit >= 10x faster than cold
+    # evaluation of the default grid; hits byte-identical, corrupted
+    # entries recompute
+    python -m pytest -q benchmarks/bench_store.py
+else
+    # same grid with a loose floor so container noise cannot flake
+    # it; correctness gates (exact hit equality, corruption recovery)
+    # run at full strictness either way
+    STORE_BENCH_MIN_SPEEDUP=5 \
+    python -m pytest -q benchmarks/bench_store.py
+fi
+
+echo
 echo "ok — reports in benchmarks/output/"

@@ -15,12 +15,25 @@ pipeline consumes.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.crossbar.spec import CrossbarSpec
 
 Record = dict[str, object]
+
+
+def _warn_deprecated(name: str) -> None:
+    """Emit the one deprecation message both legacy shims share."""
+    warnings.warn(
+        f"repro.analysis.sweeps.{name} is deprecated; design-point grids "
+        "should go through the repro.api facade (SweepRequest + "
+        "api.evaluate), generic function sweeps through "
+        "repro.exp.pipeline.function_sweep",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def sweep(
@@ -30,12 +43,17 @@ def sweep(
 ) -> list[Record]:
     """One-dimensional sweep: evaluate each value, tag it with ``name``.
 
+    .. deprecated:: PR9
+        Use :func:`repro.api.evaluate` (design-point grids) or
+        :func:`repro.exp.pipeline.function_sweep` (generic sweeps).
+
     Compat shim over :func:`repro.exp.pipeline.iter_function_records`
     (one axis); keeps the historical semantics exactly, including
     iterator-valued ``values`` and per-value result fields.
     """
     from repro.exp.pipeline import iter_function_records
 
+    _warn_deprecated("sweep")
     return list(iter_function_records({name: values}, lambda **kw: evaluate(kw[name])))
 
 
@@ -45,11 +63,16 @@ def grid_sweep(
 ) -> list[Record]:
     """Full-factorial sweep over named axes.
 
+    .. deprecated:: PR9
+        Use :func:`repro.api.evaluate` (design-point grids) or
+        :func:`repro.exp.pipeline.function_sweep` (generic sweeps).
+
     ``evaluate`` receives the axis values as keyword arguments.  Compat
     shim over :func:`repro.exp.pipeline.iter_function_records`.
     """
     from repro.exp.pipeline import iter_function_records
 
+    _warn_deprecated("grid_sweep")
     return list(iter_function_records(axes, evaluate))
 
 

@@ -20,12 +20,16 @@ Examples
     python -m repro shard launch job/ --workers 4
     python -m repro shard merge job/ --format csv
     python -m repro shard plan marginmc job/ BGC -M 8 --samples 1000000
+    python -m repro serve --socket /tmp/repro.sock --store /var/repro-store
+    python -m repro sweep --via /tmp/repro.sock --format csv
+    python -m repro --store /var/repro-store simulate BGC -M 10
     python -m repro headline
     python -m repro theorems
     python -m repro baselines
 
 Platform knobs (``--raw-kb``, ``--nanowires``, ``--sigma-t``,
-``--window-margin``, ``--contact-gap``) apply to every subcommand.
+``--window-margin``, ``--contact-gap``) apply to every subcommand, as
+does ``--store`` (persistent result cache, default ``$REPRO_STORE``).
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import obs
+from repro import api, obs
 from repro.analysis.export import series_to_csv, to_json
 from repro.analysis.figures import (
     fig5_fabrication_complexity,
@@ -48,9 +52,70 @@ from repro.analysis.sweeps import spec_with
 from repro.core.design import DecoderDesign
 from repro.core.optimizer import explore_designs
 from repro.core.theorems import check_all
-from repro.crossbar.montecarlo import simulate_cave_yield
 from repro.crossbar.spec import CrossbarSpec
 from repro.decoder.stochastic import compare_with_deterministic
+
+
+FAMILY_CHOICES = ["TC", "GC", "BGC", "HC", "AHC"]
+
+# -- shared options layer ------------------------------------------------------
+# Every subcommand that exposes one of these knobs adds it through the
+# same helper, so names, defaults, choices and help text agree across
+# the whole CLI (pinned by a golden test in tests/test_cli.py).
+
+#: The one help string of every ``--method`` option.
+METHOD_HELP = (
+    "vectorised batched engine (default) or the scalar reference "
+    "loop (byte-identical results)"
+)
+
+#: The one help string of every ``--seed`` option.
+SEED_HELP = (
+    "root seed; results are deterministic per seed and independent "
+    "of --jobs, --method and --chunk-size"
+)
+
+#: The one help string of every ``--chunk-size`` option.
+CHUNK_HELP = (
+    "max trials/accesses held in memory at once (default 65536; "
+    "does not change results)"
+)
+
+#: The one help string of every ``--format`` option.
+FORMAT_HELP = "output format (default table)"
+
+#: The one help string of every ``--via`` option.
+VIA_HELP = (
+    "send the request to a running `repro serve` daemon at this "
+    "unix socket instead of computing in-process (byte-identical "
+    "results)"
+)
+
+FORMAT_CHOICES = ["table", "csv", "json"]
+
+
+def _add_method_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--method", default="batched", choices=["batched", "loop"], help=METHOD_HELP
+    )
+
+
+def _add_seed_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0, help=SEED_HELP)
+
+
+def _add_chunk_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--chunk-size", type=int, default=65536, help=CHUNK_HELP)
+
+
+def _add_format_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--format", default="table", choices=FORMAT_CHOICES, help=FORMAT_HELP
+    )
+
+
+def _add_via_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--via", metavar="SOCKET", default=None, help=VIA_HELP)
 
 
 def _add_grid_args(p: argparse.ArgumentParser) -> None:
@@ -106,14 +171,7 @@ def _add_metric_args(p: argparse.ArgumentParser) -> None:
         help="criterion strictness k for the margins and "
         "marginmc metrics (default 3.0)",
     )
-    p.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="root seed of the stochastic metrics (montecarlo, "
-        "marginmc, workload); results are deterministic per "
-        "seed and identical for any --jobs",
-    )
+    _add_seed_arg(p)
     p.add_argument(
         "--mc-seed",
         type=int,
@@ -243,6 +301,14 @@ def build_parser() -> argparse.ArgumentParser:
         "closed span plus a final metric snapshot; stable schema, see "
         "README 'Observability')",
     )
+    parser.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result store directory (default: "
+        "$REPRO_STORE if set); sweep/simulate/memsim/margins results "
+        "are served from and committed to it",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -254,7 +320,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--json", help="also write the data to this JSON file")
 
     p = sub.add_parser("evaluate", help="evaluate one decoder design")
-    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("family", choices=FAMILY_CHOICES)
     p.add_argument(
         "-M",
         "--length",
@@ -301,16 +367,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial, 0 = auto); results "
         "are identical for any value",
     )
-    p.add_argument(
-        "--format",
-        default="table",
-        choices=["table", "csv", "json"],
-        help="output format (default table)",
-    )
+    _add_format_arg(p)
+    _add_via_arg(p)
     p.add_argument("--output", help="write the formatted result to this file")
 
     p = sub.add_parser("simulate", help="Monte-Carlo yield of one design")
-    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("family", choices=FAMILY_CHOICES)
     p.add_argument("-M", "--length", type=int, required=True)
     p.add_argument("-n", "--valence", type=int, default=2)
     p.add_argument(
@@ -320,27 +382,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="Monte-Carlo trials (batched engine scales to "
         "millions; default 300)",
     )
-    p.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="root seed; results are deterministic per "
-        "(seed, --samples) and independent of --chunk-size",
-    )
-    p.add_argument(
-        "--chunk-size",
-        type=int,
-        default=65536,
-        help="max trials held in memory at once (default 65536; "
-        "does not change results)",
-    )
-    p.add_argument(
-        "--method",
-        default="batched",
-        choices=["batched", "loop"],
-        help="batched sim engine (default) or the legacy "
-        "per-trial reference loop",
-    )
+    _add_seed_arg(p)
+    _add_chunk_arg(p)
+    _add_method_arg(p)
+    _add_format_arg(p)
+    _add_via_arg(p)
 
     p = sub.add_parser(
         "memsim",
@@ -352,7 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
             "access-failure and ECC-repair statistics across the fleet."
         ),
     )
-    p.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+    p.add_argument("family", choices=FAMILY_CHOICES)
     p.add_argument(
         "-M",
         "--length",
@@ -417,28 +463,9 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="per-stored-bit flip probability at write time",
     )
-    p.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="root seed for fleet sampling, trace generation and "
-        "error injection; results are deterministic per seed "
-        "and independent of --chunk-size and --method",
-    )
-    p.add_argument(
-        "--chunk-size",
-        type=int,
-        default=65536,
-        help="max accesses vectorised at once (default 65536; "
-        "does not change results)",
-    )
-    p.add_argument(
-        "--method",
-        default="batched",
-        choices=["batched", "loop"],
-        help="vectorised engine (default) or the scalar "
-        "per-access reference loop (byte-identical)",
-    )
+    _add_seed_arg(p)
+    _add_chunk_arg(p)
+    _add_method_arg(p)
     p.add_argument(
         "--readout",
         nargs="?",
@@ -478,12 +505,8 @@ def build_parser() -> argparse.ArgumentParser:
         "relative margin floor in [0, 1); stored bits whose "
         "margin falls below it misread (default 0, ideal)",
     )
-    p.add_argument(
-        "--format",
-        default="table",
-        choices=["table", "json"],
-        help="output format (default table)",
-    )
+    _add_format_arg(p)
+    _add_via_arg(p)
 
     sub.add_parser("headline", help="paper-vs-measured headline claims")
     sub.add_parser("theorems", help="run the executable proposition checks")
@@ -534,34 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="margin-yield Monte-Carlo trials per family "
         "(default 0 = analytic margins only)",
     )
-    p.add_argument(
-        "--seed",
-        type=int,
-        default=0,
-        help="root seed of the Monte-Carlo; results are "
-        "deterministic per (seed, --samples) and "
-        "independent of --chunk-size and --method",
-    )
-    p.add_argument(
-        "--chunk-size",
-        type=int,
-        default=65536,
-        help="max trials held in memory at once (default "
-        "65536; does not change results)",
-    )
-    p.add_argument(
-        "--method",
-        default="batched",
-        choices=["batched", "loop"],
-        help="vectorized margin engine (default) or the "
-        "scalar pairwise reference loop (byte-identical)",
-    )
-    p.add_argument(
-        "--format",
-        default="table",
-        choices=["table", "json"],
-        help="output format (default table)",
-    )
+    _add_seed_arg(p)
+    _add_chunk_arg(p)
+    _add_method_arg(p)
+    _add_format_arg(p)
+    _add_via_arg(p)
 
     p = sub.add_parser(
         "readout",
@@ -595,15 +595,54 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0e7,
         help="crosspoint OFF resistance [ohm] (default 1e7)",
     )
-    p.add_argument(
-        "--method",
-        default="batched",
-        choices=["batched", "loop"],
-        help="vectorized readout engine (default) or the "
-        "scalar per-cell reference loop (byte-identical)",
-    )
+    _add_method_arg(p)
 
     sub.add_parser("calibrate", help="score the calibration grid")
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived result daemon on a unix socket",
+        description=(
+            "Serve canonical repro.api requests over newline-delimited "
+            "JSON frames: store hits answer immediately, identical "
+            "in-flight requests coalesce, and compatible sweeps batch "
+            "onto one engine call. Point clients at it with --via."
+        ),
+    )
+    p.add_argument(
+        "--socket", required=True, metavar="PATH", help="unix socket path to bind"
+    )
+    # also accepted after the subcommand (SUPPRESS keeps a pre-subcommand
+    # global --store from being clobbered by this default)
+    p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=argparse.SUPPRESS,
+        help="content-addressed result store directory the daemon "
+        "serves hits from (default: $REPRO_STORE if set)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per sweep evaluation (1 = serial, "
+        "0 = auto); results are identical for any value",
+    )
+    p.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.01,
+        metavar="SECONDS",
+        help="how long a sweep waits for compatible requests to share "
+        "one engine call (default 0.01)",
+    )
+    p.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=256,
+        help="sweep record rows per streamed response frame "
+        "(default 256)",
+    )
 
     p = sub.add_parser(
         "shard",
@@ -639,7 +678,7 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         pm = plan_sub.add_parser(kind, help=blurb)
         pm.add_argument("job_dir", help="job directory to create")
-        pm.add_argument("family", choices=["TC", "GC", "BGC", "HC", "AHC"])
+        pm.add_argument("family", choices=FAMILY_CHOICES)
         pm.add_argument(
             "-M",
             "--length",
@@ -907,19 +946,46 @@ def _format_sweep_result(result, fmt: str) -> str:
     return render_table(fields, rows, 4) + f"\n\n{len(result)} design points"
 
 
+def _store_from_args(args: argparse.Namespace):
+    """The result store the global ``--store``/``$REPRO_STORE`` names."""
+    from repro.store import default_store
+
+    return default_store(args.store)
+
+
+def _run_request(args: argparse.Namespace, op: str, request, **knobs):
+    """Route one api request directly or through a ``--via`` daemon.
+
+    The single junction every adapted subcommand (sweep, simulate,
+    memsim, margins) goes through: ``--via SOCKET`` swaps the
+    in-process facade call for the daemon client, byte-identically.
+    """
+    via = getattr(args, "via", None)
+    if via:
+        from repro.serve import ServeClient
+
+        with ServeClient(via) as client:
+            return getattr(client, op)(request, **knobs)
+    return getattr(api, op)(request, store=_store_from_args(args), **knobs)
+
+
 def _cmd_sweep(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     import json as _json
 
     from repro.exp.cache import cache_stats
-    from repro.exp.pipeline import default_jobs, run_sweep
+    from repro.exp.pipeline import default_jobs
 
-    points = _grid_from_args(args)
-    result = run_sweep(
-        points,
+    request = api.SweepRequest(
+        points=tuple(_grid_from_args(args)),
         metrics=_metrics_from_args(args),
         spec=spec,
-        jobs=args.jobs if args.jobs >= 1 else default_jobs(),
         params=_params_from_args(args),
+    )
+    result = _run_request(
+        args,
+        "evaluate",
+        request,
+        jobs=args.jobs if args.jobs >= 1 else default_jobs(),
     )
     if args.format == "json":
         payload = {
@@ -1032,12 +1098,7 @@ def _cmd_shard(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             payload["timing"] = _timing_payload()
             out = _json.dumps(payload, indent=2)
         elif args.format == "csv":
-            out = (
-                ",".join(payload)
-                + "\n"
-                + ",".join(repr(v) if isinstance(v, float) else str(v)
-                           for v in payload.values())
-            )
+            out = _scalar_csv(payload)
         else:
             rows = [[k, v] for k, v in payload.items()]
             out = render_table(["figure", "value"], rows, 6)
@@ -1070,20 +1131,56 @@ def _cmd_optimize(spec: CrossbarSpec, objective: str, jobs: int = 1) -> str:
     return table + f"\n\nbest: {result.best.label}"
 
 
-def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
-    from repro.codes.registry import make_code
+def _scalar_csv(payload: dict) -> str:
+    """One header + one data row; floats keep their shortest repr."""
+    return (
+        ",".join(payload)
+        + "\n"
+        + ",".join(
+            repr(v) if isinstance(v, float) else str(v) for v in payload.values()
+        )
+    )
 
-    code = make_code(args.family, args.valence, args.length)
+
+def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
+    import json as _json
+
+    request = api.McRequest(
+        kind="cavemc",
+        family=args.family,
+        total_length=args.length,
+        n=args.valence,
+        samples=args.samples,
+        seed=args.seed,
+        spec=spec,
+    )
     with obs.span("cli.simulate.run", samples=args.samples) as sp:
-        mc = simulate_cave_yield(
-            spec,
-            code,
-            samples=args.samples,
-            seed=args.seed,
+        mc = _run_request(
+            args,
+            "simulate",
+            request,
             method=args.method,
-            max_trials_per_chunk=args.chunk_size,
+            chunk_size=args.chunk_size,
         )
     elapsed = max(sp.wall_s, 1e-9)
+
+    if args.format != "table":
+        payload = {
+            "family": args.family,
+            "total_length": args.length,
+            "method": args.method,
+            "samples": mc.samples,
+            "mean_cave_yield": mc.mean_cave_yield,
+            "std_cave_yield": mc.std_cave_yield,
+            "stderr": mc.stderr,
+            "mean_electrical_yield": mc.mean_electrical_yield,
+            "mean_geometric_yield": mc.mean_geometric_yield,
+        }
+        if args.format == "csv":
+            return _scalar_csv(payload)
+        payload["timing"] = _timing_payload()
+        return _json.dumps(payload, indent=2)
+
     rows = [
         ["method", args.method],
         ["samples", mc.samples],
@@ -1099,108 +1196,87 @@ def _cmd_simulate(spec: CrossbarSpec, args: argparse.Namespace) -> str:
 def _cmd_memsim(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     import json as _json
 
-    from repro.codes.registry import make_code
-    from repro.crossbar.ecc import SecdedCode
-    from repro.workload import (
-        ELECTRICAL_METRICS,
-        FLEET_METRICS,
-        ElectricalReadout,
-        exhausted_fraction,
-        prepare_workload,
-    )
-
-    code = make_code(args.family, args.valence, args.length)
-    fleet, trace = prepare_workload(
-        spec,
-        code,
+    request = api.WorkloadRequest(
+        family=args.family,
+        total_length=args.length,
+        n=args.valence,
         trace=args.trace,
         accesses=args.accesses,
         instances=args.instances,
-        seed=args.seed,
         write_fraction=args.write_fraction,
-        ecc=SecdedCode(args.parity_bits) if args.ecc else None,
+        seed=args.seed,
+        parity_bits=args.parity_bits if args.ecc else 0,
+        error_rate=args.error_rate,
         address_space=args.address_space,
+        readout=args.readout if args.readout is not None else "off",
+        r_on=args.r_on,
+        r_off=args.r_off,
+        v_read=args.v_read,
+        resolution=args.resolution,
+        spec=spec,
     )
-    address_space = trace.address_space
-    readout = None
-    if args.readout is not None:
-        from repro.crossbar.readout import ReadoutModel
-
-        readout = ElectricalReadout(
-            model=ReadoutModel(
-                r_on=args.r_on,
-                r_off=args.r_off,
-                v_read=args.v_read,
-                scheme=args.readout,
-            ),
-            resolution=args.resolution,
-        )
-    with obs.span("cli.memsim.run", accesses=trace.accesses) as sp:
-        result = fleet.run(
-            trace,
+    with obs.span("cli.memsim.run", accesses=args.accesses) as sp:
+        result = _run_request(
+            args,
+            "memsim",
+            request,
             method=args.method,
             chunk_size=args.chunk_size,
-            seed=args.seed,
-            write_error_rate=args.error_rate,
-            readout=readout,
         )
     elapsed = max(sp.wall_s, 1e-9)
-    metric_names = FLEET_METRICS + (ELECTRICAL_METRICS if result.electrical else ())
+    metric_names = list(result.metrics)
 
-    if args.format == "json":
+    if args.format != "table":
         payload = {
-            "trace": trace.name,
-            "accesses": trace.accesses,
-            "reads": trace.reads,
-            "writes": trace.writes,
-            "instances": fleet.instances,
-            "address_space": address_space,
+            "trace": result.trace,
+            "accesses": result.accesses,
+            "reads": result.reads,
+            "writes": result.writes,
+            "instances": result.instances,
+            "address_space": result.address_space,
             "ecc": result.ecc,
             "method": args.method,
-            "accesses_per_second": trace.accesses * fleet.instances / elapsed,
-            "metrics": {
-                name: {
-                    "mean": result[name].mean,
-                    "std": result[name].std,
-                    "stderr": result[name].stderr,
-                }
-                for name in metric_names
-            },
-            "exhausted_fraction": exhausted_fraction(result.per_instance),
-            "timing": _timing_payload(),
+            "accesses_per_second": result.accesses * result.instances / elapsed,
+            "metrics": result.metrics,
+            "exhausted_fraction": result.exhausted_fraction,
         }
-        if result.electrical:
-            payload["readout"] = {
-                "scheme": readout.model.scheme,
-                "r_on": readout.model.r_on,
-                "r_off": readout.model.r_off,
-                "v_read": readout.model.v_read,
-                "resolution": readout.resolution,
+        if args.format == "csv":
+            flat = {
+                k: v for k, v in payload.items() if k != "metrics"
             }
+            for name, stats in result.metrics.items():
+                flat[f"{name}_mean"] = stats["mean"]
+                flat[f"{name}_std"] = stats["std"]
+            del flat["accesses_per_second"]
+            return _scalar_csv(flat)
+        payload["timing"] = _timing_payload()
+        if result.electrical:
+            payload["readout"] = result.readout
             payload["bank_cache"] = result.cache
         return _json.dumps(payload, indent=2)
 
     rows = [
-        ["trace", f"{trace.name} ({trace.reads} reads / {trace.writes} writes)"],
-        ["instances", fleet.instances],
-        ["address space", address_space],
-        ["ecc", f"SECDED r={args.parity_bits}" if result.ecc else "off"],
+        ["trace", f"{result.trace} ({result.reads} reads / {result.writes} writes)"],
+        ["instances", result.instances],
+        ["address space", result.address_space],
+        ["ecc", f"SECDED r={result.parity_bits}" if result.ecc else "off"],
         ["method", args.method],
-        ["fleet accesses/s", f"{trace.accesses * fleet.instances / elapsed:,.0f}"],
+        ["fleet accesses/s", f"{result.accesses * result.instances / elapsed:,.0f}"],
     ]
     if result.electrical:
         rows.insert(
             4,
             [
                 "readout",
-                f"{readout.model.scheme} (resolution {readout.resolution})",
+                f"{result.readout['scheme']} "
+                f"(resolution {result.readout['resolution']})",
             ],
         )
     for name in metric_names:
-        s = result[name]
-        rows.append([name, f"{s.mean:,.4g} +- {s.std:,.4g}"])
+        s = result.metrics[name]
+        rows.append([name, f"{s['mean']:,.4g} +- {s['std']:,.4g}"])
     rows.append(
-        ["exhausted instances", f"{100 * exhausted_fraction(result.per_instance):.0f}%"]
+        ["exhausted instances", f"{100 * result.exhausted_fraction:.0f}%"]
     )
     if result.electrical and result.cache is not None:
         rows.append(
@@ -1249,7 +1325,6 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
     import json as _json
 
     from repro.codes.registry import make_code
-    from repro.crossbar.montecarlo import simulate_margin_yield
     from repro.decoder.margins import margin_report, margin_yield
 
     families = [f.strip() for f in args.families.split(",") if f.strip()]
@@ -1280,14 +1355,23 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             ),
         }
         if args.samples > 0:
-            mc = simulate_margin_yield(
-                spec,
-                code,
-                samples=args.samples,
-                seed=args.seed,
-                k_sigma=args.k_sigma,
+            # analytic figures above stay local; the sampled yield is a
+            # canonical marginmc request, so --via and --store apply
+            mc = _run_request(
+                args,
+                "simulate",
+                api.McRequest(
+                    kind="marginmc",
+                    family=family,
+                    total_length=args.length,
+                    n=args.valence,
+                    samples=args.samples,
+                    seed=args.seed,
+                    k_sigma=args.k_sigma,
+                    spec=spec,
+                ),
                 method=args.method,
-                max_trials_per_chunk=args.chunk_size,
+                chunk_size=args.chunk_size,
             )
             entry["mc_margin_yield"] = mc.mean_margin_yield
             entry["mc_stderr"] = mc.stderr
@@ -1307,6 +1391,18 @@ def _cmd_margins(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             "timing": _timing_payload(),
         }
         return _json.dumps(payload, indent=2)
+
+    if args.format == "csv":
+        fields = list(results[0])
+        lines = [",".join(fields)]
+        for r in results:
+            lines.append(
+                ",".join(
+                    repr(v) if isinstance(v, float) else str(v)
+                    for v in (r[f] for f in fields)
+                )
+            )
+        return "\n".join(lines)
 
     headers = ["family", "select", "block", "worst", "passes", "margin yield"]
     if args.samples > 0:
@@ -1362,6 +1458,23 @@ def _cmd_readout(args: argparse.Namespace) -> str:
     ]
     header = list(schemes) if args.scheme == "all" else ["worst-case margin"]
     return render_table(["bank size", *header], rows)
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from repro.serve import ReproServer
+
+    store = _store_from_args(args)
+    server = ReproServer(
+        args.socket,
+        store=store,
+        jobs=args.jobs,
+        batch_window_s=args.batch_window,
+        chunk_rows=args.chunk_rows,
+    )
+    where = f"store {store.root}" if store is not None else "no store"
+    print(f"repro serve: listening on {args.socket} ({where})", file=sys.stderr)
+    server.serve_forever()
+    return f"repro serve: {args.socket} shut down cleanly"
 
 
 def _cmd_calibrate() -> str:
@@ -1441,6 +1554,8 @@ def _dispatch(spec: CrossbarSpec, args: argparse.Namespace) -> int:
         out = _cmd_readout(args)
     elif args.command == "shard":
         out = _cmd_shard(spec, args)
+    elif args.command == "serve":
+        out = _cmd_serve(args)
     elif args.command == "calibrate":
         out = _cmd_calibrate()
     else:  # pragma: no cover - argparse enforces choices

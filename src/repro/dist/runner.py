@@ -6,8 +6,9 @@ exactly the slice of work the shard owns, and writes one content-keyed
 JSON result file:
 
 * **sweep** shards evaluate their design-point rows through
-  :func:`repro.exp.pipeline.evaluate_points` — the same entry point the
-  single-host worker pool uses — and store the row records verbatim.
+  :func:`repro.api.evaluate_records` — the same facade entry point the
+  CLI and the ``repro serve`` daemon use, which itself funnels into
+  the single-host worker pool — and store the row records verbatim.
 * **MC** shards evaluate their stream-block range through
   :func:`repro.sim.engine.run_block_moments` and store the per-block
   ``(count, mean, M2)`` moment states, the unit the merger re-folds in
@@ -26,11 +27,10 @@ import os
 import time
 from pathlib import Path
 
-from repro import obs
+from repro import api, obs
 from repro.codes.registry import make_code
 from repro.crossbar.yield_model import decoder_for
 from repro.exp.cache import cache_stats
-from repro.exp.pipeline import evaluate_points
 from repro.obs import JsonlSink
 from repro.sim.engine import run_block_moments
 
@@ -106,12 +106,13 @@ def run_shard(shard: ShardSpec, *, telemetry_path: str | Path | None = None) -> 
                     None if payload["spec"] is None
                     else spec_from_dict(payload["spec"])
                 )
-                records = evaluate_points(
-                    load_points(payload["points"]),
-                    spec,
-                    tuple(payload["metrics"]),
-                    params_from_dict(payload["params"]),
+                request = api.SweepRequest(
+                    points=tuple(load_points(payload["points"])),
+                    metrics=tuple(payload["metrics"]),
+                    spec=spec,
+                    params=params_from_dict(payload["params"]),
                 )
+                records = api.evaluate_records(request)
                 data = {"row_start": payload["row_start"], "records": records}
             else:
                 kernel = build_mc_kernel(payload)

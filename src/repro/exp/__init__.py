@@ -10,7 +10,12 @@ memoized construction (:mod:`repro.exp.cache`) and a columnar
 pipeline").
 """
 
-from repro.exp.cache import cache_stats, cached_spec, clear_caches
+from repro.exp.cache import (
+    cache_stats,
+    cached_spec,
+    clear_caches,
+    validate_override_keys,
+)
 from repro.exp.designpoint import (
     SPEC_OVERRIDE_KEYS,
     DesignPoint,
@@ -46,4 +51,5 @@ __all__ = [
     "register_evaluator",
     "resolve_metrics",
     "run_sweep",
+    "validate_override_keys",
 ]

@@ -52,6 +52,23 @@ _SPEC_FIELDS = {
 SPEC_OVERRIDE_KEYS = (*_SPEC_FIELDS, *_RULE_FIELDS)
 
 
+def validate_override_keys(keys) -> None:
+    """Raise ``ValueError`` for any name outside :data:`SPEC_OVERRIDE_KEYS`.
+
+    The one validation (and one error message) shared by every
+    override entry point: ``DesignPoint.make``, the :func:`cached_spec`
+    lru boundary (which deserialised points from shard files or api
+    payloads reach without going through ``make``), and anything else
+    accepting override mappings.
+    """
+    unknown = sorted(set(keys) - set(SPEC_OVERRIDE_KEYS))
+    if unknown:
+        raise ValueError(
+            f"unknown spec override(s) {unknown}; expected a subset of "
+            f"{sorted(SPEC_OVERRIDE_KEYS)}"
+        )
+
+
 @lru_cache(maxsize=1024)
 def cached_spec(
     base: CrossbarSpec,
@@ -64,19 +81,13 @@ def cached_spec(
     perturbations with many code points, so every perturbed spec is
     requested once per code — memoizing keeps one canonical instance
     per perturbation, which in turn makes the decoder cache key
-    identical across those requests.
+    identical across those requests.  Overrides are validated here as
+    well as in ``DesignPoint.make`` — points built directly (shard
+    files, api payloads) hit this lru boundary first.
     """
     if not overrides:
         return base
-    unknown = sorted(
-        k for k, _ in overrides
-        if k not in _RULE_FIELDS and k not in _SPEC_FIELDS
-    )
-    if unknown:
-        raise ValueError(
-            f"unknown spec override(s) {unknown}; expected a subset of "
-            f"{sorted((*_RULE_FIELDS, *_SPEC_FIELDS))}"
-        )
+    validate_override_keys(k for k, _ in overrides)
     rule_changes = {k: v for k, v in overrides if k in _RULE_FIELDS}
     spec_changes = {_SPEC_FIELDS[k]: v for k, v in overrides if k in _SPEC_FIELDS}
     if rule_changes:

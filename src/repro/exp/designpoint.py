@@ -16,7 +16,7 @@ from typing import Iterable, Iterator, Mapping, Sequence
 from repro.codes.base import CodeError, CodeSpace
 from repro.codes.registry import ALL_FAMILIES, make_code
 from repro.crossbar.spec import CrossbarSpec
-from repro.exp.cache import SPEC_OVERRIDE_KEYS, cached_spec
+from repro.exp.cache import SPEC_OVERRIDE_KEYS, cached_spec, validate_override_keys
 
 
 @dataclass(frozen=True, order=True)
@@ -52,12 +52,7 @@ class DesignPoint:
     ) -> "DesignPoint":
         """Normalised constructor: upper-cases the family, sorts overrides."""
         key = family.strip().upper()
-        unknown = sorted(set(overrides) - set(SPEC_OVERRIDE_KEYS))
-        if unknown:
-            raise ValueError(
-                f"unknown spec override(s) {unknown}; "
-                f"expected a subset of {list(SPEC_OVERRIDE_KEYS)}"
-            )
+        validate_override_keys(overrides)
         return cls(
             family=key,
             total_length=int(total_length),

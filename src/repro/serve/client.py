@@ -1,0 +1,123 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+What the ``--via SOCKET`` CLI paths use: one unix-socket connection,
+synchronous request/response over the NDJSON protocol.  Sweep results
+arrive as streamed record chunks and are reassembled into the same
+columnar :class:`~repro.exp.results.SweepResult` the direct path
+produces — byte-identical, which the CLI asserts in its tests.
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+from repro import api
+from repro.crossbar.montecarlo import MonteCarloMarginYield, MonteCarloYield
+from repro.exp.results import SweepResult
+from repro.serve.protocol import decode_frame, encode_frame, request_frame
+
+
+class ServeError(RuntimeError):
+    """The daemon answered a request with an error frame."""
+
+
+class ServeClient:
+    """A connection to one daemon socket.
+
+    Usable as a context manager; request methods mirror the
+    :mod:`repro.api` facade signatures so CLI code can swap
+    ``api.evaluate(req)`` for ``client.evaluate(req)`` verbatim.
+    ``cached`` on the last call is exposed via :attr:`last_cached`.
+    """
+
+    def __init__(self, socket_path: str | Path, *, timeout: float | None = 300.0):
+        self.socket_path = str(socket_path)
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+        self.last_cached = False
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _roundtrip(self, op: str, payload: dict | None = None, **knobs):
+        """Send one request; collect chunks until the terminal frame."""
+        self._next_id += 1
+        request_id = self._next_id
+        frame = request_frame(op, request_id, payload, **knobs)
+        self._sock.sendall(encode_frame(frame))
+        chunks: list[dict] = []
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ServeError("connection closed by daemon mid-request")
+            response = decode_frame(line)
+            if response.get("id") != request_id:
+                raise ServeError(
+                    f"response id {response.get('id')} does not match "
+                    f"request id {request_id}"
+                )
+            if not response.get("ok", False):
+                raise ServeError(response.get("error", "unknown daemon error"))
+            if response["frame"] == "chunk":
+                chunks.append(response)
+                continue
+            self.last_cached = bool(response.get("cached", False))
+            return response, chunks
+
+    # -- operations ------------------------------------------------------------
+
+    def ping(self) -> bool:
+        self._roundtrip("ping")
+        return True
+
+    def stats(self) -> dict:
+        done, _ = self._roundtrip("stats")
+        return done["result"]
+
+    def shutdown(self) -> None:
+        self._roundtrip("shutdown")
+
+    def evaluate(self, request: api.SweepRequest, *, jobs: int = 1) -> SweepResult:
+        done, chunks = self._roundtrip("evaluate", request.to_dict(), jobs=jobs)
+        fields = chunks[0]["fields"] if chunks else []
+        records = [rec for chunk in chunks for rec in chunk["records"]]
+        return api.sweep_result_from_dict({"fields": fields, "records": records})
+
+    def simulate(
+        self,
+        request: api.McRequest,
+        *,
+        method: str = "batched",
+        chunk_size: int | None = None,
+    ) -> MonteCarloYield | MonteCarloMarginYield:
+        done, _ = self._roundtrip(
+            "simulate", request.to_dict(), method=method, chunk_size=chunk_size
+        )
+        return api.mc_result_from_dict(done["result"])
+
+    def memsim(
+        self,
+        request: api.WorkloadRequest,
+        *,
+        method: str = "batched",
+        chunk_size: int | None = None,
+    ) -> api.WorkloadResult:
+        done, _ = self._roundtrip(
+            "memsim", request.to_dict(), method=method, chunk_size=chunk_size
+        )
+        return api.WorkloadResult.from_dict(done["result"])

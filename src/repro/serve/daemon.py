@@ -1,0 +1,417 @@
+"""The ``repro serve`` daemon: an asyncio unix-socket result service.
+
+One long-lived process owns the warm in-process construction memos
+(:mod:`repro.exp.cache`) and a persistent content-addressed result
+store (:mod:`repro.store`), and serves canonical :mod:`repro.api`
+requests over newline-delimited JSON frames
+(:mod:`repro.serve.protocol`).  Three mechanisms turn concurrent
+client traffic into efficient engine calls:
+
+* **store hits** — a request whose digest is already committed is
+  answered immediately from disk, no compute;
+* **in-flight coalescing** — identical requests (same digest) arriving
+  while one is being computed share a single evaluation: followers
+  await the leader's future instead of re-running the engine;
+* **sweep batching** — compatible sweep requests (same spec, metrics
+  and params, any point grids) queued within one batch window are
+  concatenated into a *single* :func:`repro.api.evaluate_records`
+  call, then split back per request.  ``evaluate_points`` is
+  order-preserving per point, so the split rows are byte-identical to
+  evaluating each request alone — the property the byte-identity
+  tests pin down.
+
+Compute runs on a thread-pool executor so the event loop keeps
+accepting connections (the numpy engines release the GIL for the
+heavy parts); results stream back chunk-by-chunk so clients can start
+consuming large grids early.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro import api, obs
+from repro.dist.spec import canonical_json
+from repro.serve.protocol import (
+    DEFAULT_CHUNK_ROWS,
+    chunk_frame,
+    decode_frame,
+    done_frame,
+    encode_frame,
+    error_frame,
+    iter_record_chunks,
+)
+from repro.sim.batch import DEFAULT_MAX_TRIALS_PER_CHUNK
+
+#: Seconds the batcher waits to let compatible sweeps pile up.
+DEFAULT_BATCH_WINDOW_S = 0.01
+
+
+class _PendingSweep:
+    """One queued sweep awaiting the next batch drain."""
+
+    __slots__ = ("request", "digest", "future")
+
+    def __init__(self, request, digest, future):
+        self.request = request
+        self.digest = digest
+        self.future = future
+
+
+class ReproServer:
+    """Dispatches protocol frames onto the :mod:`repro.api` facade.
+
+    ``jobs`` is forwarded to sweep evaluation (the exp pipeline's
+    process pool); ``batch_window_s`` bounds the extra latency a sweep
+    pays for a chance to share an engine call; ``chunk_rows`` sets the
+    streamed frame granularity.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        store=None,
+        jobs: int = 1,
+        batch_window_s: float = DEFAULT_BATCH_WINDOW_S,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        mc_chunk_size: int = DEFAULT_MAX_TRIALS_PER_CHUNK,
+    ):
+        self.socket_path = Path(socket_path)
+        self.store = store
+        self.jobs = jobs
+        self.batch_window_s = batch_window_s
+        self.chunk_rows = chunk_rows
+        self.mc_chunk_size = mc_chunk_size
+        self.counters = {
+            "requests": 0,
+            "store_hits": 0,
+            "coalesced": 0,
+            "batch_groups": 0,
+            "batched_requests": 0,
+            "computed": 0,
+            "errors": 0,
+        }
+        self._inflight: dict[str, asyncio.Future] = {}
+        self._pending: dict[str, list[_PendingSweep]] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._drain_scheduled = False
+        self._stop = None  # asyncio.Event, created on the serving loop
+        self._executor = ThreadPoolExecutor(max_workers=max(jobs, 1))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def run(self, ready: threading.Event | None = None) -> None:
+        """Serve until a ``shutdown`` frame arrives (or cancellation)."""
+        self._stop = asyncio.Event()
+        self.socket_path.parent.mkdir(parents=True, exist_ok=True)
+        if self.socket_path.exists():
+            self.socket_path.unlink()
+        server = await asyncio.start_unix_server(
+            self._handle_client, path=str(self.socket_path)
+        )
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections, return_exceptions=True)
+            self._executor.shutdown(wait=False)
+            try:
+                self.socket_path.unlink()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Blocking entry point (what ``repro serve`` calls)."""
+        asyncio.run(self.run())
+
+    @contextmanager
+    def running(self):
+        """Run the daemon on a background thread (test/tooling helper).
+
+        Yields once the socket is accepting connections; on exit the
+        loop is asked to stop and the thread joined.
+        """
+        ready = threading.Event()
+        loop_holder: dict[str, asyncio.AbstractEventLoop] = {}
+
+        def _target():
+            loop = asyncio.new_event_loop()
+            loop_holder["loop"] = loop
+            try:
+                loop.run_until_complete(self.run(ready))
+            finally:
+                loop.close()
+
+        thread = threading.Thread(target=_target, daemon=True)
+        thread.start()
+        if not ready.wait(timeout=10):
+            raise RuntimeError("repro serve daemon failed to start")
+        try:
+            yield self
+        finally:
+            loop = loop_holder.get("loop")
+            if loop is not None and self._stop is not None:
+                loop.call_soon_threadsafe(self._stop.set)
+            thread.join(timeout=10)
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        conn = asyncio.current_task()
+        if conn is not None:
+            self._connections.add(conn)
+            conn.add_done_callback(self._connections.discard)
+        write_lock = asyncio.Lock()
+        tasks = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                tasks.append(
+                    asyncio.ensure_future(
+                        self._handle_frame(line, writer, write_lock)
+                    )
+                )
+        except asyncio.CancelledError:
+            pass  # server shutting down: close this connection quietly
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _send(self, writer, lock, frame: dict) -> None:
+        async with lock:
+            writer.write(encode_frame(frame))
+            await writer.drain()
+
+    async def _handle_frame(self, line: bytes, writer, lock) -> None:
+        request_id = None
+        try:
+            frame = decode_frame(line)
+            request_id = frame.get("id")
+            op = frame.get("op")
+            self.counters["requests"] += 1
+            # spans are thread-LIFO and this handler interleaves on one
+            # loop thread, so count ops instead of timing them here
+            obs.counter(f"serve.op.{op}")
+            if op == "ping":
+                await self._send(writer, lock, done_frame(request_id, cached=False))
+            elif op == "stats":
+                await self._send(
+                    writer,
+                    lock,
+                    done_frame(request_id, cached=False, result=self.stats()),
+                )
+            elif op == "shutdown":
+                await self._send(writer, lock, done_frame(request_id, cached=False))
+                self._stop.set()
+            elif op == "evaluate":
+                await self._op_evaluate(frame, writer, lock)
+            elif op in ("simulate", "memsim"):
+                await self._op_scalar(op, frame, writer, lock)
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — every fault becomes a frame
+            self.counters["errors"] += 1
+            try:
+                await self._send(writer, lock, error_frame(request_id, str(exc)))
+            except (ConnectionError, OSError):
+                pass
+
+    # -- sweep path ------------------------------------------------------------
+
+    async def _op_evaluate(self, frame: dict, writer, lock) -> None:
+        request = api.SweepRequest.from_dict(frame["request"])
+        digest = api.request_digest(request)
+        request_id = frame["id"]
+
+        if self.store is not None:
+            hit = self.store.get(digest)
+            if hit is not None:
+                self.counters["store_hits"] += 1
+                await self._stream_sweep(writer, lock, request_id, hit, cached=True)
+                return
+
+        if digest in self._inflight:
+            self.counters["coalesced"] += 1
+            payload = await asyncio.shield(self._inflight[digest])
+        else:
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[digest] = future
+            key = self._compat_key(request)
+            self._pending.setdefault(key, []).append(
+                _PendingSweep(request, digest, future)
+            )
+            self._schedule_drain()
+            try:
+                payload = await asyncio.shield(future)
+            finally:
+                self._inflight.pop(digest, None)
+        await self._stream_sweep(writer, lock, request_id, payload, cached=False)
+
+    @staticmethod
+    def _compat_key(request: api.SweepRequest) -> str:
+        """Requests sharing this key may ride one ``evaluate_points`` call."""
+        payload = request.to_dict()
+        payload.pop("points")
+        return canonical_json(payload)
+
+    def _schedule_drain(self) -> None:
+        if not self._drain_scheduled:
+            self._drain_scheduled = True
+            loop = asyncio.get_running_loop()
+            loop.call_later(
+                self.batch_window_s,
+                lambda: asyncio.ensure_future(self._drain_pending()),
+            )
+
+    async def _drain_pending(self) -> None:
+        self._drain_scheduled = False
+        pending, self._pending = self._pending, {}
+        for group in pending.values():
+            await self._run_group(group)
+
+    async def _run_group(self, group: list[_PendingSweep]) -> None:
+        loop = asyncio.get_running_loop()
+        first = group[0].request
+        merged = api.SweepRequest(
+            points=tuple(p for member in group for p in member.request.points),
+            metrics=first.metrics,
+            spec=first.spec,
+            params=first.params,
+        )
+        self.counters["batch_groups"] += 1
+        self.counters["batched_requests"] += len(group)
+        try:
+            records = await loop.run_in_executor(
+                self._executor,
+                lambda: api.evaluate_records(merged, jobs=self.jobs),
+            )
+        except Exception as exc:  # noqa: BLE001 — fan the fault out per member
+            for member in group:
+                if not member.future.done():
+                    member.future.set_exception(exc)
+            return
+        self.counters["computed"] += len(group)
+        fields = list(records[0]) if records else []
+        start = 0
+        for member in group:
+            stop = start + len(member.request.points)
+            payload = {"fields": fields, "records": records[start:stop]}
+            start = stop
+            if self.store is not None:
+                self.store.put(
+                    member.digest,
+                    member.request.kind,
+                    member.request.to_dict(),
+                    payload,
+                )
+            if not member.future.done():
+                member.future.set_result(payload)
+
+    async def _stream_sweep(
+        self, writer, lock, request_id, payload: dict, *, cached: bool
+    ) -> None:
+        fields = list(payload["fields"])
+        for chunk in iter_record_chunks(payload["records"], self.chunk_rows):
+            await self._send(writer, lock, chunk_frame(request_id, fields, chunk))
+        await self._send(writer, lock, done_frame(request_id, cached=cached))
+
+    # -- scalar paths (MC, workload) -------------------------------------------
+
+    async def _op_scalar(self, op: str, frame: dict, writer, lock) -> None:
+        loop = asyncio.get_running_loop()
+        if op == "simulate":
+            request = api.McRequest.from_dict(frame["request"])
+        else:
+            request = api.WorkloadRequest.from_dict(frame["request"])
+        method = frame.get("method", "batched")
+        chunk_size = int(frame.get("chunk_size", self.mc_chunk_size))
+        digest = api.request_digest(request)
+        request_id = frame["id"]
+
+        # cavemc loop/batched use different stream layouts, so the store
+        # (which holds batched estimates) is bypassed for that combination
+        store_eligible = not (
+            op == "simulate" and request.kind == "cavemc" and method == "loop"
+        )
+        cached = (
+            store_eligible
+            and self.store is not None
+            and self.store.contains(digest)
+        )
+        if digest in self._inflight and not cached:
+            self.counters["coalesced"] += 1
+            result = await asyncio.shield(self._inflight[digest])
+        else:
+            future = asyncio.get_running_loop().create_future()
+            if not cached:
+                self._inflight[digest] = future
+            try:
+                if op == "simulate":
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        lambda: api.mc_result_to_dict(
+                            api.simulate(
+                                request,
+                                method=method,
+                                chunk_size=chunk_size,
+                                store=self.store,
+                            )
+                        ),
+                    )
+                else:
+                    result = await loop.run_in_executor(
+                        self._executor,
+                        lambda: api.memsim(
+                            request,
+                            method=method,
+                            chunk_size=chunk_size,
+                            store=self.store,
+                        ).to_dict(),
+                    )
+                if cached:
+                    self.counters["store_hits"] += 1
+                else:
+                    self.counters["computed"] += 1
+                if not future.done():
+                    future.set_result(result)
+            except Exception as exc:  # noqa: BLE001 — fault propagates per frame
+                if not future.done():
+                    future.set_exception(exc)
+                raise
+            finally:
+                self._inflight.pop(digest, None)
+        await self._send(
+            writer, lock, done_frame(request_id, cached=cached, result=result)
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Server counters plus store stats (the ``stats`` op payload)."""
+        payload = {
+            "server": dict(self.counters),
+            "inflight": len(self._inflight),
+            "pending": sum(len(g) for g in self._pending.values()),
+        }
+        if self.store is not None:
+            payload["store"] = self.store.stats()
+        return payload

@@ -1,0 +1,21 @@
+"""Persistent content-addressed result store (see :mod:`repro.store.core`)."""
+
+from repro.store.core import (
+    STORE_ENV_VAR,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    default_store,
+    reset_store_counters,
+    result_checksum,
+    store_counters,
+)
+
+__all__ = [
+    "STORE_ENV_VAR",
+    "STORE_SCHEMA_VERSION",
+    "ResultStore",
+    "default_store",
+    "reset_store_counters",
+    "result_checksum",
+    "store_counters",
+]

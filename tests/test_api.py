@@ -1,0 +1,242 @@
+"""Unit tests for the repro.api request/response facade."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.crossbar.spec import CrossbarSpec
+from repro.exp import SweepParams
+from repro.exp.designpoint import DesignPoint
+from repro.store import ResultStore
+
+
+def small_sweep_request(**kw):
+    points = tuple(DesignPoint.make(f, 6) for f in ("TC", "GC"))
+    defaults = dict(points=points, metrics=("yield", "area"))
+    defaults.update(kw)
+    return api.SweepRequest(**defaults)
+
+
+class TestRequestRoundTrips:
+    def test_sweep_round_trip(self):
+        req = small_sweep_request(
+            spec=CrossbarSpec(sigma_t=0.04),
+            params=SweepParams(mc_samples=64, mc_seed=7),
+        )
+        clone = api.SweepRequest.from_dict(req.to_dict())
+        assert clone == req
+        assert clone.canonical() == req.canonical()
+
+    def test_sweep_canonical_is_sorted_compact_json(self):
+        text = small_sweep_request().canonical()
+        payload = json.loads(text)
+        assert list(payload) == sorted(payload)
+        assert ": " not in text and ", " not in text
+
+    def test_mc_round_trip_both_kinds(self):
+        for kind in api.MC_KINDS:
+            req = api.McRequest(
+                kind=kind, family="BGC", total_length=6, samples=32, seed=3
+            )
+            clone = api.McRequest.from_dict(req.to_dict())
+            assert clone == req
+
+    def test_k_sigma_only_in_marginmc_payload(self):
+        cave = api.McRequest(kind="cavemc", family="TC", total_length=6)
+        margin = api.McRequest(kind="marginmc", family="TC", total_length=6)
+        assert "k_sigma" not in cave.to_dict()
+        assert "k_sigma" in margin.to_dict()
+
+    def test_workload_round_trip(self):
+        req = api.WorkloadRequest(
+            family="GC",
+            total_length=6,
+            trace="bursty",
+            accesses=256,
+            instances=2,
+            parity_bits=5,
+            readout="ground",
+            resolution=1e-8,
+        )
+        clone = api.WorkloadRequest.from_dict(req.to_dict())
+        assert clone == req
+
+    def test_readout_knobs_only_in_electrical_payload(self):
+        ideal = api.WorkloadRequest(family="TC", total_length=6)
+        electrical = api.WorkloadRequest(
+            family="TC", total_length=6, readout="float"
+        )
+        assert "r_on" not in ideal.to_dict()
+        assert "r_on" in electrical.to_dict()
+
+    def test_parse_request_dispatches_by_kind(self):
+        requests = [
+            small_sweep_request(),
+            api.McRequest(kind="cavemc", family="TC", total_length=6),
+            api.McRequest(kind="marginmc", family="TC", total_length=6),
+            api.WorkloadRequest(family="TC", total_length=6),
+        ]
+        for req in requests:
+            assert api.parse_request(req.to_dict()) == req
+
+    def test_parse_request_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown request kind"):
+            api.parse_request({"v": api.API_SCHEMA_VERSION, "kind": "nope"})
+
+    def test_unsupported_schema_version_rejected(self):
+        payload = small_sweep_request().to_dict()
+        payload["v"] = api.API_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            api.SweepRequest.from_dict(payload)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one design point"):
+            api.SweepRequest(points=())
+        with pytest.raises(ValueError, match="unknown MC request kind"):
+            api.McRequest(kind="bogus", family="TC", total_length=6)
+        with pytest.raises(ValueError, match="unknown trace kind"):
+            api.WorkloadRequest(family="TC", total_length=6, trace="bogus")
+        with pytest.raises(ValueError, match="unknown readout scheme"):
+            api.WorkloadRequest(family="TC", total_length=6, readout="bogus")
+
+
+class TestDigests:
+    def test_digest_is_stable_across_equal_requests(self):
+        assert api.request_digest(small_sweep_request()) == api.request_digest(
+            small_sweep_request()
+        )
+
+    def test_digest_tracks_result_determining_fields(self):
+        base = api.McRequest(kind="marginmc", family="TC", total_length=6, seed=0)
+        reseeded = api.McRequest(
+            kind="marginmc", family="TC", total_length=6, seed=1
+        )
+        assert api.request_digest(base) != api.request_digest(reseeded)
+
+    def test_digest_ignores_execution_knobs(self):
+        # method/chunk_size/jobs are call arguments, not request fields,
+        # so they cannot perturb the digest by construction; spot-check
+        # that the canonical payload has no such keys.
+        payload = small_sweep_request().to_dict()
+        assert not {"jobs", "method", "chunk_size"} & set(payload)
+
+    def test_default_spec_normalizes_to_one_digest(self):
+        # spec=None resolves to the calibrated defaults at construction,
+        # so a hand-built request shares store entries with a CLI/daemon
+        # request that passed the explicit default spec.
+        implicit = small_sweep_request()
+        explicit = small_sweep_request(spec=CrossbarSpec())
+        assert implicit.spec == CrossbarSpec()
+        assert api.request_digest(implicit) == api.request_digest(explicit)
+        for req in (
+            implicit,
+            api.McRequest(kind="cavemc", family="TC", total_length=6),
+            api.WorkloadRequest(family="TC", total_length=6),
+        ):
+            assert req.spec is not None
+            assert req.to_dict()["spec"] is not None
+
+
+class TestResultRoundTrips:
+    def test_sweep_result_round_trip_preserves_column_order(self):
+        result = api.evaluate(small_sweep_request())
+        clone = api.sweep_result_from_dict(
+            json.loads(json.dumps(api.sweep_result_to_dict(result), sort_keys=True))
+        )
+        assert clone == result
+        assert clone.fields == result.fields
+
+    def test_mc_result_round_trip(self):
+        req = api.McRequest(kind="marginmc", family="TC", total_length=6, samples=32)
+        result = api.simulate(req)
+        clone = api.mc_result_from_dict(
+            json.loads(json.dumps(api.mc_result_to_dict(result)))
+        )
+        assert clone == result
+
+    def test_mc_result_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown MC result type"):
+            api.mc_result_from_dict({"type": "Bogus"})
+
+    def test_workload_result_round_trip(self):
+        req = api.WorkloadRequest(
+            family="TC", total_length=6, accesses=128, instances=2
+        )
+        result = api.memsim(req)
+        clone = api.WorkloadResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert clone == result
+        assert clone["efficiency"] == result.metrics["efficiency"]
+
+
+class TestFacadeWithStore:
+    def test_evaluate_store_round_trip_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        req = small_sweep_request()
+        cold = api.evaluate(req, store=store)
+        warm = api.evaluate(req, store=store)
+        assert warm == cold
+        assert store.stats()["entries"] == 1
+
+    def test_simulate_store_shared_across_methods_marginmc(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        req = api.McRequest(kind="marginmc", family="TC", total_length=6, samples=32)
+        cold = api.simulate(req, method="batched", store=store)
+        warm = api.simulate(req, method="loop", store=store)
+        assert warm == cold == api.simulate(req)  # loop == batched == direct
+
+    def test_simulate_cavemc_loop_bypasses_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        req = api.McRequest(kind="cavemc", family="TC", total_length=6, samples=32)
+        direct_loop = api.simulate(req, method="loop")
+        assert api.simulate(req, method="loop", store=store) == direct_loop
+        assert store.stats()["entries"] == 0  # nothing was committed
+        api.simulate(req, method="batched", store=store)
+        assert store.stats()["entries"] == 1
+        # a later loop call must not be served the batched estimate
+        assert api.simulate(req, method="loop", store=store) == direct_loop
+
+    def test_memsim_store_round_trip_identical(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        req = api.WorkloadRequest(
+            family="TC", total_length=6, accesses=128, instances=2
+        )
+        cold = api.memsim(req, store=store)
+        warm = api.memsim(req, store=store)
+        assert warm == cold
+
+
+class TestOverrideValidation:
+    def test_cached_spec_validates_at_lru_boundary(self):
+        from repro.exp.cache import cached_spec
+
+        with pytest.raises(ValueError, match="unknown spec override"):
+            cached_spec(CrossbarSpec(), (("bogus_knob", 1.0),))
+
+    def test_make_and_cached_spec_raise_identical_messages(self):
+        from repro.exp.cache import cached_spec
+
+        with pytest.raises(ValueError) as via_make:
+            DesignPoint.make("TC", 6, bogus_knob=1.0)
+        with pytest.raises(ValueError) as via_cache:
+            cached_spec(CrossbarSpec(), (("bogus_knob", 1.0),))
+        assert str(via_make.value) == str(via_cache.value)
+
+    def test_direct_constructor_caught_on_resolution(self):
+        # DesignPoint(...) skips .make's validation; the lru boundary
+        # still rejects the bad key when the spec is resolved.
+        point = DesignPoint("TC", 6, overrides=(("bogus_knob", 1.0),))
+        with pytest.raises(ValueError, match="unknown spec override"):
+            point.resolved_spec()
+
+
+class TestDeprecatedShims:
+    def test_legacy_sweep_warns(self):
+        from repro.analysis.sweeps import grid_sweep, sweep
+
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            sweep("x", [1, 2], lambda x: {"y": x * 2})
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            grid_sweep({"x": [1]}, lambda x: {"y": x})

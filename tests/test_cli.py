@@ -209,3 +209,97 @@ class TestPlatformKnobs:
         _, loose = run_cli(capsys, "evaluate", "TC", "-M", "6")
         _, tight = run_cli(capsys, "--sigma-t", "0.12", "evaluate", "TC", "-M", "6")
         assert loose != tight
+
+
+class TestSharedOptions:
+    """Golden agreement of the shared option layer across subcommands."""
+
+    def _help(self, capsys, command):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([command, "--help"])
+        return " ".join(capsys.readouterr().out.split())
+
+    def _error(self, capsys, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        err = capsys.readouterr().err
+        # strip the per-subcommand usage prefix: compare from "error:" on
+        return err[err.index("error:"):].strip()
+
+    def test_help_text_identical_across_subcommands(self, capsys):
+        from repro.cli import (
+            CHUNK_HELP,
+            FORMAT_HELP,
+            METHOD_HELP,
+            SEED_HELP,
+            VIA_HELP,
+        )
+
+        helps = {
+            cmd: self._help(capsys, cmd)
+            for cmd in ("sweep", "simulate", "memsim", "margins", "readout")
+        }
+        for cmd in ("simulate", "memsim", "margins", "readout"):
+            assert " ".join(METHOD_HELP.split()) in helps[cmd], cmd
+        for cmd in ("sweep", "simulate", "memsim", "margins"):
+            assert " ".join(SEED_HELP.split()) in helps[cmd], cmd
+            assert " ".join(FORMAT_HELP.split()) in helps[cmd], cmd
+            assert " ".join(VIA_HELP.split()) in helps[cmd], cmd
+        for cmd in ("simulate", "memsim", "margins"):
+            assert " ".join(CHUNK_HELP.split()) in helps[cmd], cmd
+
+    def test_method_error_message_identical(self, capsys):
+        errors = {
+            cmd: self._error(capsys, [cmd, "--method", "bogus"])
+            for cmd in ("simulate", "memsim", "margins", "readout")
+        }
+        assert len(set(errors.values())) == 1, errors
+        assert "invalid choice: 'bogus'" in errors["simulate"]
+
+    def test_format_error_message_identical(self, capsys):
+        errors = {
+            cmd: self._error(capsys, [cmd, "--format", "bogus"])
+            for cmd in ("sweep", "simulate", "memsim", "margins")
+        }
+        assert len(set(errors.values())) == 1, errors
+
+    def test_seed_default_agrees(self):
+        parser = build_parser()
+        seeds = {
+            cmd: parser.parse_args(
+                [cmd, *extra]
+            ).seed
+            for cmd, extra in (
+                ("sweep", []),
+                ("simulate", ["TC", "-M", "6"]),
+                ("memsim", ["TC", "-M", "6"]),
+                ("margins", []),
+            )
+        }
+        assert set(seeds.values()) == {0}
+
+
+class TestViaDaemon:
+    def test_sweep_via_socket_matches_direct(self, capsys, tmp_path):
+        from repro.serve import ReproServer
+
+        sock = str(tmp_path / "cli.sock")
+        args = ["sweep", "--families", "TC,GC", "--lengths", "6",
+                "--metric", "yield,area", "--format", "csv"]
+        _, direct = run_cli(capsys, *args)
+        with ReproServer(sock).running():
+            code, cold = run_cli(capsys, *args, "--via", sock)
+            assert code == 0
+            _, warm = run_cli(capsys, *args, "--via", sock)
+        assert cold == direct
+        assert warm == direct
+
+    def test_simulate_via_socket_matches_direct(self, capsys, tmp_path):
+        from repro.serve import ReproServer
+
+        sock = str(tmp_path / "cli2.sock")
+        args = ["simulate", "TC", "-M", "6", "--samples", "64", "--format", "csv"]
+        _, direct = run_cli(capsys, *args)
+        with ReproServer(sock).running():
+            _, served = run_cli(capsys, *args, "--via", sock)
+        assert served == direct
