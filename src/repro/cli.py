@@ -309,6 +309,15 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_STORE if set); sweep/simulate/memsim/margins results "
         "are served from and committed to it",
     )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault-injection plan for chaos testing, "
+        'e.g. "seed=7,dist.crash_after_result=@1,serve.drop=0.25"; '
+        "exported as $REPRO_FAULTS so worker processes inherit it "
+        "(see README 'Fault tolerance & chaos testing')",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -643,6 +652,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep record rows per streamed response frame "
         "(default 256)",
     )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="per-request deadline; a request past it gets a "
+        "'deadline' error frame instead of blocking its client "
+        "(default 300, 0 disables)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        metavar="N",
+        help="bound on concurrently computing requests; past it new "
+        "work is refused with a 'busy' error frame carrying "
+        "retry_after (default 64)",
+    )
+
+    p = sub.add_parser(
+        "store",
+        help="maintain a content-addressed result store",
+        description=(
+            "Maintenance for a result store directory: compact the "
+            "append-only manifest to live entries (gc) or digest-verify "
+            "every object file (verify). The root comes from the "
+            "positional argument, the global --store, or $REPRO_STORE."
+        ),
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    sg = store_sub.add_parser(
+        "gc", help="compact manifest.jsonl to live entries"
+    )
+    sg.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="store directory (default: global --store / $REPRO_STORE)",
+    )
+    sv = store_sub.add_parser(
+        "verify", help="digest-verify every object in the store"
+    )
+    sv.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="store directory (default: global --store / $REPRO_STORE)",
+    )
+    sv.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="rename corrupt objects to .corrupt so the next request "
+        "recommits them cleanly",
+    )
 
     p = sub.add_parser(
         "shard",
@@ -738,7 +801,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     pl = shard_sub.add_parser(
-        "launch", help="run every pending shard in local processes"
+        "launch",
+        help="run every pending shard in supervised local processes",
     )
     pl.add_argument("job_dir")
     pl.add_argument(
@@ -746,6 +810,28 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="worker processes (0 = auto: min(pending, CPUs))",
+    )
+    pl.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per failed shard before it is "
+        "quarantined (default 2)",
+    )
+    pl.add_argument(
+        "--backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base of the exponential re-queue backoff (default 0.5)",
+    )
+    pl.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=15.0,
+        metavar="SECONDS",
+        help="worker lease time-to-live; a worker that stops renewing "
+        "for this long is presumed hung and killed (default 15)",
     )
 
     pt = shard_sub.add_parser("status", help="job progress from the manifest")
@@ -1054,11 +1140,24 @@ def _cmd_shard(spec: CrossbarSpec, args: argparse.Namespace) -> str:
             f"{result['elapsed_s']:.2f}s"
         )
     if args.shard_command == "launch":
-        report = dist.launch(args.job_dir, workers=args.workers or None)
-        return (
+        try:
+            report = dist.launch(
+                args.job_dir,
+                workers=args.workers or None,
+                retries=args.retries,
+                backoff_s=args.backoff,
+                lease_ttl_s=args.lease_ttl,
+            )
+        except dist.ShardJobError as exc:
+            raise SystemExit(str(exc)) from exc
+        out = (
             f"ran {len(report.ran)} shard(s) {list(report.ran)}, skipped "
             f"{len(report.skipped)} already complete {list(report.skipped)}"
         )
+        if report.retried:
+            retries = ", ".join(f"{i} x{n}" for i, n in report.retried)
+            out += f"\nretried: {retries}"
+        return out
     if args.shard_command == "status":
         if args.watch:
             import time as _time
@@ -1470,11 +1569,31 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         jobs=args.jobs,
         batch_window_s=args.batch_window,
         chunk_rows=args.chunk_rows,
+        deadline_s=args.deadline or None,
+        max_pending=args.max_pending,
     )
     where = f"store {store.root}" if store is not None else "no store"
     print(f"repro serve: listening on {args.socket} ({where})", file=sys.stderr)
     server.serve_forever()
     return f"repro serve: {args.socket} shut down cleanly"
+
+
+def _cmd_store(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from repro.store import default_store
+
+    store = default_store(args.root or args.store)
+    if store is None:
+        raise SystemExit(
+            "repro store: no store directory given (pass one as an "
+            "argument, via --store, or set $REPRO_STORE)"
+        )
+    if args.store_command == "gc":
+        report = store.gc()
+    else:
+        report = store.verify(quarantine=args.quarantine)
+    return _json.dumps({"root": str(store.root), **report}, indent=2)
 
 
 def _cmd_calibrate() -> str:
@@ -1503,6 +1622,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     """
     args = build_parser().parse_args(argv)
     spec = _spec_from_args(args)
+
+    if args.faults:
+        from repro import faults as _faults
+
+        try:
+            _faults.FaultPlan.parse(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"repro --faults: {exc}") from exc
+        # exported (not just activated) so forked shard workers and the
+        # serve daemon's executor threads all see the same plan
+        import os as _os
+
+        _os.environ[_faults.ENV_VAR] = args.faults
 
     sinks = []
     if args.telemetry_out:
@@ -1556,6 +1688,8 @@ def _dispatch(spec: CrossbarSpec, args: argparse.Namespace) -> int:
         out = _cmd_shard(spec, args)
     elif args.command == "serve":
         out = _cmd_serve(args)
+    elif args.command == "store":
+        out = _cmd_store(args)
     elif args.command == "calibrate":
         out = _cmd_calibrate()
     else:  # pragma: no cover - argparse enforces choices

@@ -7,6 +7,7 @@ directory; merge the content-keyed result files back into an object
 ("Distributed sweeps") for the plan → run → merge data flow.
 """
 
+from repro.dist.lease import DEFAULT_LEASE_TTL_S, Lease
 from repro.dist.manifest import (
     LaunchReport,
     completed_keys,
@@ -15,6 +16,7 @@ from repro.dist.manifest import (
     pending_shards,
     record_completion,
     status,
+    validate_result,
     write_job,
 )
 from repro.dist.merge import job_telemetry, merge_results
@@ -27,9 +29,14 @@ from repro.dist.spec import (
     content_key,
     split_even,
 )
+from repro.dist.supervisor import ShardFailure, ShardJobError
 
 __all__ = [
+    "DEFAULT_LEASE_TTL_S",
     "LaunchReport",
+    "Lease",
+    "ShardFailure",
+    "ShardJobError",
     "ShardPlan",
     "ShardSpec",
     "canonical_json",
@@ -47,5 +54,6 @@ __all__ = [
     "run_shard_file",
     "split_even",
     "status",
+    "validate_result",
     "write_job",
 ]

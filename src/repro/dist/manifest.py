@@ -28,7 +28,6 @@ correct document).
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -134,47 +133,61 @@ def pending_shards(job_dir: str | Path, plan: ShardPlan | None = None) -> list:
     return [s for s in plan.shards if s.key not in done]
 
 
+def validate_result(job_dir: str | Path, shard: ShardSpec) -> str | None:
+    """Why a shard's result file cannot be merged, or None if it can.
+
+    The checks mirror what :func:`repro.dist.merge.load_results` would
+    reject, so a supervisor can catch a truncated or mismatched result
+    (and re-run the shard) *before* a merge trips over it.
+    """
+    path = results_dir_for(job_dir) / shard.file_name
+    if not path.exists():
+        return "result file missing"
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return "result file unreadable or truncated"
+    if not isinstance(doc, dict):
+        return "result document is not an object"
+    if doc.get("job_key") != shard.job_key:
+        return f"job key mismatch (got {doc.get('job_key')!r})"
+    if doc.get("shard_key") != shard.key:
+        return f"shard key mismatch (got {doc.get('shard_key')!r})"
+    if "data" not in doc:
+        return "result document has no data section"
+    return None
+
+
 @dataclass(frozen=True)
 class LaunchReport:
-    """What one ``launch`` call did: shard indices run vs. skipped."""
+    """What one ``launch`` call did: shard indices run vs. skipped.
+
+    ``retried`` lists ``(index, retry_count)`` pairs for shards that
+    needed more than one attempt; ``quarantined`` the indices that
+    exhausted every attempt (in which case ``launch`` raises instead of
+    returning, and the report lives on the error).
+    """
 
     ran: tuple[int, ...]
     skipped: tuple[int, ...]
+    retried: tuple[tuple[int, int], ...] = ()
+    quarantined: tuple[int, ...] = ()
 
 
-def launch(job_dir: str | Path, workers: int | None = None) -> LaunchReport:
-    """Run every pending shard of a job in local worker processes.
+def launch(job_dir: str | Path, workers: int | None = None, **kwargs) -> LaunchReport:
+    """Run every pending shard of a job under local supervision.
 
     Completed shards (per the checkpoint manifest) are skipped, which
     is the whole resume story: re-launching an interrupted job re-runs
     only the missing shards.  ``workers`` defaults to
-    ``min(pending, cpu_count)``.
+    ``min(pending, cpu_count)``.  Keyword arguments (``retries``,
+    ``backoff_s``, ``lease_ttl_s``, ``poll_s``) pass through to
+    :func:`repro.dist.supervisor.launch`, which owns failure detection,
+    capped retries and quarantine.
     """
-    import multiprocessing
-    import os
+    from repro.dist.supervisor import launch as supervised_launch
 
-    from repro.dist.runner import run_shard_file
-
-    job_dir = Path(job_dir)
-    plan = load_job(job_dir)
-    todo = pending_shards(job_dir, plan)
-    skipped = tuple(s.index for s in plan.shards if s not in todo)
-    if not todo:
-        return LaunchReport(ran=(), skipped=skipped)
-    paths = [shards_dir_for(job_dir) / s.file_name for s in todo]
-    if workers is None:
-        workers = max(1, min(len(todo), os.cpu_count() or 1))
-    if workers == 1:
-        for path in paths:
-            run_shard_file(path)
-    else:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = None
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            list(pool.map(run_shard_file, paths))
-    return LaunchReport(ran=tuple(s.index for s in todo), skipped=skipped)
+    return supervised_launch(job_dir, workers, **kwargs)
 
 
 #: A completed shard whose elapsed time exceeds this multiple of the
@@ -208,8 +221,17 @@ def status(job_dir: str | Path) -> dict:
     aggregate throughput and an ETA over the pending units, and
     completed shards slower than :data:`STRAGGLER_FACTOR` times the
     median are flagged.
+
+    Supervision state rides along: a pending shard with a live lease
+    file shows as ``running``, with an expired one as ``stale``, with a
+    quarantine marker as ``quarantined``; per-shard ``retries`` come
+    from the supervision log, and the job-level ``stale`` / ``retried``
+    / ``quarantined`` lists summarise them.
     """
     import statistics
+
+    from repro.dist.lease import lease_path_for, read_lease
+    from repro.dist.supervisor import quarantined_indices, retry_counts
 
     job_dir = Path(job_dir)
     plan = load_job(job_dir)
@@ -217,16 +239,30 @@ def status(job_dir: str | Path) -> dict:
     entries = _manifest_entries(job_dir)
     results = results_dir_for(job_dir)
     pending = [s.index for s in plan.shards if s.key not in done]
+    quarantined = set(quarantined_indices(job_dir))
+    retries = retry_counts(job_dir)
 
     shard_rows = []
     done_units = 0
     done_elapsed = 0.0
     elapsed_by_index: dict[int, float] = {}
     for shard in plan.shards:
+        if shard.key in done:
+            state = "done"
+        elif shard.index in quarantined:
+            state = "quarantined"
+        else:
+            state = "pending"
+            lease = read_lease(lease_path_for(job_dir, shard))
+            if lease is not None:
+                ttl = float(lease.get("ttl_s", 0.0)) or None
+                stale = ttl is not None and lease["age_s"] > ttl
+                state = "stale" if stale else "running"
         row: dict = {
             "index": shard.index,
             "units": shard.units,
-            "state": "done" if shard.key in done else "pending",
+            "state": state,
+            "retries": retries.get(shard.index, 0),
         }
         result_path = results / shard.file_name
         if result_path.exists():
@@ -271,5 +307,8 @@ def status(job_dir: str | Path) -> dict:
         "units_per_s": units_per_s,
         "eta_s": eta_s,
         "stragglers": stragglers,
+        "stale": sorted(r["index"] for r in shard_rows if r["state"] == "stale"),
+        "retried": sorted((idx, n) for idx, n in retries.items()),
+        "quarantined": sorted(quarantined),
         "shard_details": shard_rows,
     }

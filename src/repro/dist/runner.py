@@ -27,7 +27,7 @@ import os
 import time
 from pathlib import Path
 
-from repro import api, obs
+from repro import api, faults, obs
 from repro.codes.registry import make_code
 from repro.crossbar.yield_model import decoder_for
 from repro.exp.cache import cache_stats
@@ -162,6 +162,7 @@ def run_shard_file(
     results_dir: str | Path | None = None,
     *,
     record: bool = True,
+    lease_ttl_s: float | None = None,
 ) -> dict:
     """Execute the shard described by a spec file from a job directory.
 
@@ -169,15 +170,34 @@ def run_shard_file(
     and — with ``record=True`` — appends the completion line to the
     job's checkpoint manifest.  The rename-then-record order is the
     commit protocol: a manifest line implies a fully-written result.
+
+    While the shard computes, a heartbeat-renewed lease file (see
+    :mod:`repro.dist.lease`) under ``<job_dir>/leases/`` signals
+    liveness to any supervisor watching the job directory; a crashed or
+    frozen worker stops renewing and is reaped.  ``lease_ttl_s``
+    overrides the default TTL (the supervisor passes its own so both
+    sides judge staleness by the same clock).
+
+    The :mod:`repro.faults` chaos sites live here, in commit-protocol
+    order: stall during compute, crash before the result write, crash
+    after the write but before the manifest line, corrupt the written
+    result just before recording completion.
     """
+    from repro.dist.lease import DEFAULT_LEASE_TTL_S, Lease, lease_path_for
     from repro.dist.manifest import record_completion, results_dir_for
 
     spec_path = Path(spec_path)
     shard = ShardSpec.from_dict(json.loads(spec_path.read_text()))
     job_dir = spec_path.parent.parent
     out_dir = Path(results_dir) if results_dir else results_dir_for(job_dir)
-    result = run_shard(shard, telemetry_path=out_dir / telemetry_name(shard))
-    write_result(result, out_dir / shard.file_name)
-    if record:
-        record_completion(job_dir, shard, result)
+    ttl = lease_ttl_s if lease_ttl_s is not None else DEFAULT_LEASE_TTL_S
+    with Lease(lease_path_for(job_dir, shard), ttl_s=ttl):
+        faults.stall_point("dist.stall")
+        result = run_shard(shard, telemetry_path=out_dir / telemetry_name(shard))
+        faults.crash_point("dist.crash_before_result")
+        out_path = write_result(result, out_dir / shard.file_name)
+        faults.crash_point("dist.crash_after_result")
+        faults.corrupt_file("dist.corrupt_result", out_path)
+        if record:
+            record_completion(job_dir, shard, result)
     return result

@@ -26,6 +26,16 @@ Response frames::
     {"id": 2, "ok": true, "frame": "done", "result": {...},
      "cached": true}
     {"id": 9, "ok": false, "frame": "error", "error": "..."}
+    {"id": 9, "ok": false, "frame": "error", "error": "...",
+     "kind": "busy", "retry_after": 0.5}
+
+Error frames may carry a machine-readable ``kind`` that clients use
+for retry decisions: ``busy`` (admission queue full — honour
+``retry_after`` seconds before retrying), ``deadline`` (the request
+exceeded the daemon's per-request deadline), ``draining`` (the daemon
+is shutting down gracefully and refuses new work).  Absent ``kind``
+means a plain request failure (bad payload, engine error) that a
+retry would not fix.
 
 Sweep results stream chunk-by-chunk (``chunk_rows`` rows per frame) so
 a client can start consuming a large grid before evaluation of later
@@ -91,9 +101,25 @@ def done_frame(request_id: int, *, cached: bool, result: dict | None = None) -> 
     return frame
 
 
-def error_frame(request_id: int | None, message: str) -> dict:
-    """The terminal failure frame of one request."""
-    return {"id": request_id, "ok": False, "frame": "error", "error": message}
+def error_frame(
+    request_id: int | None,
+    message: str,
+    *,
+    kind: str | None = None,
+    retry_after: float | None = None,
+) -> dict:
+    """The terminal failure frame of one request.
+
+    ``kind`` tags machine-actionable failures (``busy``, ``deadline``,
+    ``draining``); ``retry_after`` suggests a client back-off in
+    seconds (``busy`` frames carry it).
+    """
+    frame = {"id": request_id, "ok": False, "frame": "error", "error": message}
+    if kind is not None:
+        frame["kind"] = kind
+    if retry_after is not None:
+        frame["retry_after"] = retry_after
+    return frame
 
 
 def iter_record_chunks(

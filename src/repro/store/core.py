@@ -40,7 +40,7 @@ import os
 import threading
 from pathlib import Path
 
-from repro import obs
+from repro import faults, obs
 from repro.dist.spec import canonical_json
 
 STORE_SCHEMA_VERSION = 1
@@ -175,6 +175,7 @@ class ResultStore:
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
         os.replace(tmp, path)
+        faults.corrupt_file("store.corrupt_object", path)
         line = canonical_json({"digest": digest, "kind": kind}) + "\n"
         fd = os.open(self._manifest, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
         try:
@@ -240,6 +241,99 @@ class ResultStore:
             os.replace(path, path.with_suffix(".corrupt"))
         except OSError:
             pass
+
+    def _verify_object(self, path: Path, digest: str) -> str | None:
+        """Why one object file fails verification, or None if it's sound."""
+        try:
+            entry = json.loads(path.read_text())
+        except OSError:
+            return "object file unreadable"
+        except ValueError:
+            return "object file is not valid JSON (truncated?)"
+        try:
+            if entry["digest"] != digest:
+                return "entry file names a different digest"
+            if entry["v"] != STORE_SCHEMA_VERSION:
+                return f"unsupported store schema v{entry['v']}"
+            if result_checksum(entry["result"]) != entry["result_sha256"]:
+                return "result checksum mismatch"
+        except (KeyError, TypeError):
+            return "entry document missing required fields"
+        return None
+
+    def gc(self) -> dict:
+        """Compact the append-only manifest to its live entries.
+
+        Rewrites ``manifest.jsonl`` (atomic tmp + rename, under the
+        instance lock) keeping one line per live digest in the current
+        recency order — dropping lines for evicted/quarantined objects
+        and duplicate recommit lines.  Returns counts:
+        ``{"manifest_lines", "live", "pruned"}``.
+        """
+        with self._lock:
+            entries = self.manifest_entries()
+            latest: dict[str, dict] = {}
+            for entry in entries:
+                latest.pop(entry["digest"], None)
+                latest[entry["digest"]] = entry
+            live = [
+                e for d, e in latest.items() if self.object_path(d).exists()
+            ]
+            tmp = self._manifest.with_name(
+                self._manifest.name + f".tmp{os.getpid()}"
+            )
+            tmp.write_text(
+                "".join(
+                    canonical_json(
+                        {"digest": e["digest"], "kind": e.get("kind")}
+                    )
+                    + "\n"
+                    for e in live
+                )
+            )
+            os.replace(tmp, self._manifest)
+            return {
+                "manifest_lines": len(entries),
+                "live": len(live),
+                "pruned": len(entries) - len(live),
+            }
+
+    def verify(self, *, quarantine: bool = False) -> dict:
+        """Digest-verify every object file in the store.
+
+        Walks ``objects/<dd>/*.json`` (the files themselves, not the
+        manifest — orphaned objects get checked too) and runs the full
+        verification chain on each.  Corrupt objects are reported as
+        ``{"digest", "path", "reason"}`` rows and, with
+        ``quarantine=True``, renamed to ``.corrupt`` so the next read
+        recommits cleanly.  Returns ``{"checked", "ok", "corrupt",
+        "quarantined"}``.
+        """
+        corrupt = []
+        checked = 0
+        quarantined = 0
+        for shard_dir in sorted(self._objects.iterdir()):
+            if not shard_dir.is_dir():
+                continue
+            for path in sorted(shard_dir.glob("*.json")):
+                digest = path.stem
+                checked += 1
+                reason = self._verify_object(path, digest)
+                if reason is None:
+                    continue
+                corrupt.append(
+                    {"digest": digest, "path": str(path), "reason": reason}
+                )
+                _bump("corrupt")
+                if quarantine:
+                    self._quarantine(path)
+                    quarantined += 1
+        return {
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+        }
 
     def stats(self) -> dict:
         """Snapshot: live entry count plus the global traffic counters."""
